@@ -1,0 +1,83 @@
+"""Ablations over the design decisions called out in DESIGN.md §6.
+
+* angle reading: "velocity" (default) vs the literal "y" sums — the "y"
+  reading collapses the cosine toward 0 in high dimension, effectively
+  disabling the edge momentum;
+* γℓ smoothing: EMA (default λ=0.3) vs the raw per-round rule (λ=1.0) —
+  the raw rule flaps between 0.99 and 0 and loses accuracy on long runs;
+* boundary-step exclusion is exercised implicitly by both of the above
+  (see tests/core/test_adaptive.py for its unit-level behaviour).
+"""
+
+import numpy as np
+
+from repro.core import HierAdMo
+from repro.experiments import ExperimentConfig, build_federation
+
+from .conftest import run_once
+
+CONFIG = ExperimentConfig(
+    dataset="mnist",
+    model="logistic",
+    num_samples=1600,
+    eta=0.01,
+    gamma=0.5,
+    tau=10,
+    pi=2,
+    total_iterations=400,
+    eval_every=100,
+    seed=8,
+)
+
+
+def _run_variant(**kwargs):
+    federation = build_federation(CONFIG)
+    algo = HierAdMo(
+        federation, eta=CONFIG.eta, gamma=CONFIG.gamma,
+        tau=CONFIG.tau, pi=CONFIG.pi, **kwargs,
+    )
+    return algo.run(CONFIG.total_iterations, eval_every=CONFIG.eval_every)
+
+
+def test_ablation_angle_mode(benchmark):
+    def evaluate():
+        return (
+            _run_variant(angle_mode="velocity"),
+            _run_variant(angle_mode="y"),
+        )
+
+    velocity, literal = run_once(benchmark, evaluate)
+    v_gamma = np.mean([np.mean(list(t.values()))
+                       for t in velocity.gamma_trace[5:]])
+    y_gamma = np.mean([np.mean(list(t.values()))
+                       for t in literal.gamma_trace[5:]])
+    print(f"\nvelocity reading: final={velocity.final_accuracy:.3f}, "
+          f"mean gamma_l={v_gamma:.3f}")
+    print(f"literal-y reading: final={literal.final_accuracy:.3f}, "
+          f"mean gamma_l={y_gamma:.3f}")
+    # The literal reading concentrates near zero momentum.
+    assert y_gamma < v_gamma
+    assert velocity.final_accuracy >= literal.final_accuracy - 0.02
+
+
+def test_ablation_gamma_smoothing(benchmark):
+    def evaluate():
+        return (
+            _run_variant(gamma_smoothing=0.3),
+            _run_variant(gamma_smoothing=1.0),
+        )
+
+    smoothed, raw = run_once(benchmark, evaluate)
+
+    def flap_count(history):
+        means = [np.mean(list(t.values())) for t in history.gamma_trace]
+        return sum(
+            1 for a, b in zip(means, means[1:]) if abs(a - b) > 0.5
+        )
+
+    print(f"\nEMA-smoothed: final={smoothed.final_accuracy:.3f}, "
+          f"gamma flips={flap_count(smoothed)}")
+    print(f"raw eq.(7):   final={raw.final_accuracy:.3f}, "
+          f"gamma flips={flap_count(raw)}")
+    assert flap_count(smoothed) < flap_count(raw)
+    assert smoothed.final_accuracy >= raw.final_accuracy - 0.01

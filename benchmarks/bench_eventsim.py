@@ -1,0 +1,68 @@
+"""Event-driven deployment simulation bench (extension).
+
+Quantifies two deployment questions the coarse timeline cannot answer:
+
+* how much wall-clock the barrier process actually costs vs the
+  per-iteration-max approximation, and
+* how much a straggler-tolerant edge quorum buys under heavy-tail
+  worker delays.
+"""
+
+from repro.simulation import (
+    ThreeTierTimeline,
+    add_stragglers,
+    worker_device_pool,
+)
+from repro.simulation.events import EventDrivenSimulator
+from repro.topology import Topology
+
+from .conftest import run_once
+
+PAYLOAD = 8e5  # ~100k float64 parameters
+
+
+def test_event_vs_coarse_timeline(benchmark):
+    topo = Topology.uniform(4, 4, 100)
+    devices = worker_device_pool(topo.num_workers)
+
+    def evaluate():
+        event = EventDrivenSimulator(topo, devices, PAYLOAD).simulate(
+            200, tau=10, pi=2, rng=0
+        )
+        coarse = ThreeTierTimeline(topo, devices, PAYLOAD).simulate(
+            200, tau=10, pi=2, rng=0
+        )
+        return event.total_time, float(coarse[-1])
+
+    event_total, coarse_total = run_once(benchmark, evaluate)
+    print(f"\nevent-driven total: {event_total:8.1f}s")
+    print(f"coarse timeline:    {coarse_total:8.1f}s "
+          f"(+{(coarse_total / event_total - 1) * 100:.1f}% over-sync)")
+    # Barrier process is never slower than per-iteration max sync.
+    assert event_total <= coarse_total * 1.01
+
+
+def test_quorum_under_stragglers(benchmark):
+    topo = Topology.uniform(4, 4, 100)
+    devices = add_stragglers(
+        worker_device_pool(topo.num_workers), 0.15, 10.0
+    )
+
+    def evaluate():
+        out = {}
+        for quorum in (1.0, 0.75, 0.5):
+            result = EventDrivenSimulator(
+                topo, devices, PAYLOAD, quorum=quorum
+            ).simulate(200, tau=10, pi=2, rng=1)
+            late = sum(
+                len(record.workers_late) for record in result.edge_rounds
+            )
+            out[quorum] = (result.total_time, late)
+        return out
+
+    results = run_once(benchmark, evaluate)
+    print("\nquorum   total time   late uploads dropped")
+    for quorum, (total, late) in results.items():
+        print(f"{quorum:6.2f} {total:10.1f}s   {late}")
+    assert results[0.5][0] < results[1.0][0]
+    assert results[0.75][0] < results[1.0][0]

@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the training substrate.
+
+These use pytest-benchmark's statistical timing (many rounds) because
+they measure steady-state kernel cost, not experiment outcomes: conv
+forward/backward throughput, dense gradient cost, flat-vector
+aggregation vs a naive per-layer loop (DESIGN.md §6 decision 1), and
+the full HierAdMo iteration cost.
+"""
+
+import numpy as np
+
+from repro.core import Federation, HierAdMo
+from repro.data import Dataset
+from repro.nn.models import make_cnn, make_logistic_regression
+from repro.utils.flatten import flatten_arrays, unflatten_like
+
+RNG = np.random.default_rng(0)
+
+
+def test_bench_cnn_gradient(benchmark):
+    model = make_cnn(1, 10, 10, width=8, hidden=32, rng=0)
+    x = RNG.normal(size=(32, 1, 10, 10))
+    y = RNG.integers(0, 10, 32)
+    params = model.get_flat_params()
+    benchmark(model.gradient, x, y, params)
+
+
+def test_bench_logistic_gradient(benchmark):
+    model = make_logistic_regression(100, 10, rng=0)
+    x = RNG.normal(size=(64, 100))
+    y = RNG.integers(0, 10, 64)
+    params = model.get_flat_params()
+    benchmark(model.gradient, x, y, params)
+
+
+def test_bench_flat_aggregation(benchmark):
+    """Weighted average of 16 flat parameter vectors (the hot FL path)."""
+    dim = 100_000
+    vectors = [RNG.normal(size=dim) for _ in range(16)]
+    weights = np.full(16, 1 / 16)
+
+    def aggregate():
+        out = np.zeros(dim)
+        for weight, vector in zip(weights, vectors):
+            out += weight * vector
+        return out
+
+    result = benchmark(aggregate)
+    assert result.shape == (dim,)
+
+
+def test_bench_per_layer_aggregation(benchmark):
+    """Ablation counterpart: the same average over 12 ragged layers.
+
+    Compare with test_bench_flat_aggregation in the report — the flat
+    layout wins by avoiding per-layer Python overhead.
+    """
+    shapes = [(64, 128), (64,), (128, 256), (128,)] * 3
+    models = [
+        [RNG.normal(size=shape) for shape in shapes] for _ in range(16)
+    ]
+    weights = np.full(16, 1 / 16)
+
+    def aggregate():
+        out = [np.zeros(shape) for shape in shapes]
+        for weight, layers in zip(weights, models):
+            for accumulator, layer in zip(out, layers):
+                accumulator += weight * layer
+        return out
+
+    benchmark(aggregate)
+
+
+def test_bench_flatten_roundtrip(benchmark):
+    arrays = [RNG.normal(size=(64, 128)), RNG.normal(size=(128, 256)),
+              RNG.normal(size=(256,))]
+
+    def roundtrip():
+        return unflatten_like(flatten_arrays(arrays), arrays)
+
+    benchmark(roundtrip)
+
+
+def test_bench_hieradmo_iteration(benchmark):
+    """One full HierAdMo local iteration across 4 workers."""
+    rng = np.random.default_rng(1)
+    edges = []
+    for _ in range(2):
+        edge = []
+        for _ in range(2):
+            edge.append(Dataset(
+                rng.normal(size=(64, 50)), rng.integers(0, 5, 64), 5
+            ))
+        edges.append(edge)
+    model = make_logistic_regression(50, 5, rng=2)
+    federation = Federation(model, edges, edges[0][0], batch_size=32, seed=3)
+    algo = HierAdMo(federation, tau=1000, pi=1)
+    algo.history = federation.new_history("bench", {})
+    algo._setup()
+    benchmark(algo._worker_iteration)

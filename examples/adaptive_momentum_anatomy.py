@@ -1,0 +1,63 @@
+"""Anatomy of the adaptive edge momentum (the paper's core idea).
+
+Compares HierAdMo's self-tuned gamma_l against an exhaustive enumeration
+of fixed gamma_l values (the Fig. 2 i-k experiment), prints the gamma_l
+trajectory, and checks the Theorem-5 expectation argument numerically.
+
+Run:  python examples/adaptive_momentum_anatomy.py
+"""
+
+from repro import ExperimentConfig, run_single
+from repro.experiments import best_fixed_gamma, run_adaptive_comparison
+from repro.theory import (
+    adaptive_gamma_moments,
+    fixed_gamma_moments,
+    theorem5_gap_ratio,
+)
+
+
+def main() -> None:
+    base = ExperimentConfig(
+        dataset="mnist",
+        model="logistic",
+        num_samples=1600,
+        eta=0.01,
+        tau=10,
+        pi=2,
+        total_iterations=300,
+        eval_every=75,
+        seed=4,
+    )
+
+    print("=== adaptive gamma_l vs fixed grid (Fig. 2 i-k style) ===")
+    for gamma in (0.3, 0.6, 0.9):
+        results = run_adaptive_comparison(gamma, base_config=base)
+        best, best_accuracy = best_fixed_gamma(results)
+        print(f"\nworker gamma = {gamma}:")
+        for key in sorted(results):
+            marker = " <-- adaptive" if key == "adaptive" else ""
+            print(f"  {key:<10} {results[key]:.3f}{marker}")
+        print(
+            f"  best fixed gamma_l = {best} ({best_accuracy:.3f}); "
+            f"adaptive gap = {best_accuracy - results['adaptive']:+.3f}"
+        )
+
+    print("\n=== gamma_l trajectory during one run ===")
+    history = run_single("HierAdMo", base)
+    means = [sum(t.values()) / len(t) for t in history.gamma_trace]
+    for k in range(0, len(means), max(1, len(means) // 10)):
+        print(f"  edge round {k + 1:3d}: gamma_l = {means[k]:.3f}")
+
+    print("\n=== Theorem 5: expectation argument ===")
+    adaptive_mean, adaptive_var = adaptive_gamma_moments()
+    fixed_mean, fixed_var = fixed_gamma_moments()
+    print(f"  E[gamma_l adaptive] = {adaptive_mean:.4f} (paper: 1/4)")
+    print(f"  E[gamma_l fixed]    = {fixed_mean:.4f} (paper: 1/2)")
+    print(
+        f"  gap ratio = {theorem5_gap_ratio():.3f} < 1  "
+        "=> tighter convergence bound for HierAdMo"
+    )
+
+
+if __name__ == "__main__":
+    main()

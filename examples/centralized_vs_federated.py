@@ -1,0 +1,61 @@
+"""Centralized reference vs federated algorithms.
+
+The classic FL sanity frame: centralized training (all data pooled, one
+optimizer) upper-bounds what any federated scheme can do at the same
+step budget.  This example trains the centralized NAG reference and
+three federated algorithms on the same corpus and renders the curves as
+terminal sparklines.
+
+Run:  python examples/centralized_vs_federated.py
+"""
+
+from repro.core import Federation
+from repro.data import make_synthetic_mnist, partition_xclass, train_test_split
+from repro.experiments import ExperimentConfig, run_many
+from repro.metrics.ascii_plot import compare_curves
+from repro.nn.models import make_logistic_regression
+from repro.nn.optim import NAG
+from repro.nn.trainer import CentralizedTrainer
+
+T = 300
+
+
+def main() -> None:
+    corpus = make_synthetic_mnist(1600, rng=7).flattened()
+    train, test = train_test_split(corpus, 0.25, rng=8)
+
+    print("Centralized NAG reference (pooled data)...")
+    central = CentralizedTrainer(
+        make_logistic_regression(train.num_features, 10, rng=9),
+        train,
+        test,
+        NAG(lr=0.01, gamma=0.5),
+        batch_size=32,
+        rng=10,
+    ).run(T, eval_every=30)
+
+    print("Federated algorithms (3-class non-iid, 2 edges x 2 workers)...")
+    config = ExperimentConfig(
+        dataset="mnist",
+        model="logistic",
+        num_samples=1600,
+        eta=0.01,
+        tau=10,
+        pi=2,
+        total_iterations=T,
+        eval_every=30,
+        seed=7,
+    )
+    federated = run_many(("HierAdMo", "HierFAVG", "FedAvg"), config)
+
+    curves = {"centralized": central, **federated}
+    print()
+    print(compare_curves(curves, width=30))
+    print(
+        "\nReading: centralized is the ceiling; HierAdMo closes most of"
+        "\nthe federation gap that FedAvg leaves open under non-iid data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Data-heterogeneity study (the paper's Fig. 2 e-g scenario).
+
+Assigns each worker exactly x classes of the 10-class dataset for
+x in {3, 6, 9} and shows how every algorithm degrades as heterogeneity
+grows (smaller x) while HierAdMo stays on top.
+
+Run:  python examples/noniid_heterogeneity.py
+"""
+
+from repro.experiments import (
+    ExperimentConfig,
+    format_results_table,
+    run_noniid_sweep,
+)
+
+
+def main() -> None:
+    base = ExperimentConfig(
+        dataset="mnist",
+        model="logistic",
+        num_samples=1600,
+        eta=0.01,
+        tau=10,
+        pi=2,
+        total_iterations=250,
+        eval_every=50,
+        seed=2,
+    )
+    algorithms = ("HierAdMo", "HierAdMo-R", "HierFAVG", "FedNAG", "FedAvg")
+
+    print("Sweeping x-class non-iid levels (x = classes per worker)...")
+    sweep = run_noniid_sweep(
+        (3, 6, 9), algorithms=algorithms, base_config=base
+    )
+
+    table = {
+        name: {
+            f"x={x}": sweep[x][name].final_accuracy for x in sorted(sweep)
+        }
+        for name in algorithms
+    }
+    print()
+    print(
+        format_results_table(
+            table,
+            value_format="{:.3f}",
+            title="Final accuracy vs heterogeneity (smaller x = harder)",
+        )
+    )
+
+    print("\nObservations to look for (paper Fig. 2 e-g):")
+    print(" * every algorithm drops as x shrinks;")
+    print(" * HierAdMo keeps the best (or near-best) accuracy at every x.")
+
+
+if __name__ == "__main__":
+    main()

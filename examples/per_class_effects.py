@@ -1,0 +1,65 @@
+"""Per-class effects of non-i.i.d. data (beyond top-1 accuracy).
+
+Under the paper's x-class partition a worker never sees most classes.
+This example trains FedAvg and HierAdMo under a strong 2-class partition
+and inspects the per-class recall and macro-F1 of the global model —
+showing that hierarchical momentum not only raises average accuracy but
+evens out the per-class damage.
+
+Run:  python examples/per_class_effects.py
+"""
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, build_federation, build_algorithm
+from repro.metrics import macro_f1, per_class_accuracy
+
+
+def evaluate_per_class(config, algorithm_name):
+    federation = build_federation(config)
+    algorithm = build_algorithm(algorithm_name, federation, config)
+    history = algorithm.run(
+        config.total_iterations, eval_every=config.total_iterations
+    )
+
+    federation.model.set_flat_params(algorithm._global_params())
+    test = federation.test_set
+    predictions = federation.model.predict(test.x).argmax(axis=1)
+    recalls = per_class_accuracy(test.y, predictions, test.num_classes)
+    f1 = macro_f1(test.y, predictions, test.num_classes)
+    return history.final_accuracy, recalls, f1
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset="mnist",
+        model="logistic",
+        num_samples=2000,
+        num_edges=2,
+        workers_per_edge=3,
+        scheme="xclass",
+        classes_per_worker=2,   # strong heterogeneity
+        eta=0.01,
+        tau=10,
+        pi=2,
+        total_iterations=300,
+        seed=6,
+    )
+
+    print("Strong non-iid (2 classes per worker), 6 workers / 2 edges\n")
+    print(f"{'':12} {'top-1':>7} {'macroF1':>8}   per-class recall")
+    for name in ("FedAvg", "HierFAVG", "HierAdMo"):
+        accuracy, recalls, f1 = evaluate_per_class(config, name)
+        recall_text = " ".join(
+            "--" if np.isnan(r) else f"{r:.2f}" for r in recalls
+        )
+        print(f"{name:<12} {accuracy:7.3f} {f1:8.3f}   {recall_text}")
+
+    print(
+        "\nLook for: FedAvg's recall collapsing on some classes, while"
+        "\nHierAdMo keeps every class above water (higher macro-F1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment has setuptools but no wheel,
+so editable installs must go through ``setup.py develop``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""Partial worker participation (extension).
+
+The paper's setting is cross-silo FL with full participation (§III-A),
+but cross-device deployments sample a fraction of workers per round.
+:class:`SampledFedAvg` implements the standard scheme on the two-tier
+baseline: each round, a random subset of workers trains from the current
+global model; the server averages only the participants (re-normalized
+data weights).  Useful for studying how the paper's comparisons shift
+under device sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.twotier import TwoTierAlgorithm
+from repro.core.federation import Federation
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_in_range
+
+__all__ = ["SampledFedAvg"]
+
+
+class SampledFedAvg(TwoTierAlgorithm):
+    """FedAvg with a random participant fraction per round."""
+
+    name = "SampledFedAvg"
+
+    def __init__(
+        self,
+        federation: Federation,
+        *,
+        eta: float = 0.01,
+        tau: int = 20,
+        participation: float = 0.5,
+        rng=None,
+    ):
+        super().__init__(federation, eta=eta, tau=tau)
+        check_in_range(participation, "participation", 0.0, 1.0)
+        if participation <= 0.0:
+            raise ValueError("participation must be > 0")
+        self.participation = float(participation)
+        self.rng = make_rng(rng)
+
+    def config(self) -> dict:
+        return {**super().config(), "participation": self.participation}
+
+    def _setup(self) -> None:
+        super()._setup()
+        self.server_params = self.fed.initial_params()
+        self._sample_round()
+
+    def _sample_round(self) -> None:
+        """Draw this round's participants (at least one)."""
+        num_workers = self.fed.num_workers
+        count = max(1, int(round(self.participation * num_workers)))
+        chosen = self.rng.choice(num_workers, size=count, replace=False)
+        self.active = sorted(int(i) for i in chosen)
+        # Participants start from the server model.
+        for worker in self.active:
+            self.x[worker] = self.server_params.copy()
+
+    def _step(self, t: int) -> float:
+        total = 0.0
+        for worker in self.active:
+            grad, loss = self.fed.gradient(worker, self.x[worker])
+            self.x[worker] = self.x[worker] - self.eta * grad
+            total += loss
+        if t % self.tau == 0:
+            weights = self.fed.global_worker_w[self.active]
+            weights = weights / weights.sum()
+            aggregate = np.zeros(self.fed.dim)
+            for weight, worker in zip(weights, self.active):
+                aggregate += weight * self.x[worker]
+            self.server_params = aggregate
+            self.history.edge_cloud_rounds += 1
+            self._sample_round()
+        return total / len(self.active)
+
+    def _global_params(self) -> np.ndarray:
+        return self.server_params.copy()

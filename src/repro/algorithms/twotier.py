@@ -1,0 +1,405 @@
+"""Two-tier baseline algorithms (workers directly under the cloud).
+
+These are the paper's categories ③ (two-tier momentum FL) and ④ (FedAvg).
+All of them ignore the edge level of the federation: aggregation runs over
+*all* workers with global data weights every ``tau`` iterations.  For the
+paper's fair comparison, callers set this ``tau`` equal to the three-tier
+algorithms' ``τ·π``.
+
+Update rules implemented (one class per published algorithm):
+
+* :class:`FedAvg`       — local SGD + periodic model averaging [4].
+* :class:`FedNAG`       — local Nesterov momentum; model *and* momentum
+  are averaged and redistributed at each round [21].
+* :class:`FedMom`       — server Polyak momentum over the round
+  pseudo-gradient [19].
+* :class:`SlowMo`       — local SGD + server "slow momentum" with slow
+  learning rate α [20].
+* :class:`Mime`         — workers apply the *server's* momentum statistic
+  in every local step; the server refreshes the statistic with the
+  average gradient at the aggregated model (MimeLite-style) [22].
+* :class:`FedADC`       — drift control: workers seed their local momentum
+  buffer from the server's accumulated momentum each round [24].
+* :class:`FastSlowMo`   — combined worker NAG (fast) + server slow
+  momentum [23].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import FLAlgorithm
+from repro.core.federation import Federation
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "TwoTierAlgorithm",
+    "FedAvg",
+    "FedNAG",
+    "FedMom",
+    "SlowMo",
+    "Mime",
+    "FedADC",
+    "FastSlowMo",
+]
+
+
+class TwoTierAlgorithm(FLAlgorithm):
+    """Shared plumbing: per-worker model vectors + global averaging."""
+
+    def __init__(self, federation: Federation, *, eta: float = 0.01, tau: int = 20):
+        super().__init__(federation, eta=eta)
+        self.tau = check_positive_int(tau, "tau")
+
+    def config(self) -> dict:
+        return {"eta": self.eta, "tau": self.tau}
+
+    def _setup(self) -> None:
+        x0 = self.fed.initial_params()
+        self.x = [x0.copy() for _ in range(self.fed.num_workers)]
+
+    def _average_models(self) -> np.ndarray:
+        return self.fed.global_average_workers(self.x)
+
+    def _broadcast(self, params: np.ndarray) -> None:
+        for worker in range(self.fed.num_workers):
+            self.x[worker] = params.copy()
+
+    def _global_params(self) -> np.ndarray:
+        return self._average_models()
+
+    def _local_sgd_iteration(self) -> float:
+        """One plain SGD step on every worker; returns mean batch loss."""
+        total = 0.0
+        for worker in range(self.fed.num_workers):
+            grad, loss = self.fed.gradient(worker, self.x[worker])
+            self.x[worker] = self.x[worker] - self.eta * grad
+            total += loss
+        return total / self.fed.num_workers
+
+
+class FedAvg(TwoTierAlgorithm):
+    """McMahan et al.: local SGD, average the models every τ iterations."""
+
+    name = "FedAvg"
+
+    def _step(self, t: int) -> float:
+        loss = self._local_sgd_iteration()
+        if t % self.tau == 0:
+            self._broadcast(self._average_models())
+            self.history.edge_cloud_rounds += 1
+        return loss
+
+
+class FedNAG(TwoTierAlgorithm):
+    """Yang et al. TPDS'22: local NAG; aggregate model and momentum.
+
+    This is exactly the two-tier special case HierAdMo's Theorem 1 reduces
+    to, so it doubles as an analytical cross-check in the tests.
+    """
+
+    name = "FedNAG"
+
+    def __init__(
+        self,
+        federation: Federation,
+        *,
+        eta: float = 0.01,
+        tau: int = 20,
+        gamma: float = 0.5,
+    ):
+        super().__init__(federation, eta=eta, tau=tau)
+        self.gamma = check_fraction(gamma, "gamma")
+
+    def config(self) -> dict:
+        return {**super().config(), "gamma": self.gamma}
+
+    def _setup(self) -> None:
+        super()._setup()
+        self.y = [x.copy() for x in self.x]
+
+    def _step(self, t: int) -> float:
+        total = 0.0
+        for worker in range(self.fed.num_workers):
+            grad, loss = self.fed.gradient(worker, self.x[worker])
+            total += loss
+            y_new = self.x[worker] - self.eta * grad
+            self.x[worker] = y_new + self.gamma * (y_new - self.y[worker])
+            self.y[worker] = y_new
+        if t % self.tau == 0:
+            x_bar = self._average_models()
+            y_bar = self.fed.global_average_workers(self.y)
+            for worker in range(self.fed.num_workers):
+                self.x[worker] = x_bar.copy()
+                self.y[worker] = y_bar.copy()
+            self.history.edge_cloud_rounds += 1
+        return total / self.fed.num_workers
+
+
+class FedMom(TwoTierAlgorithm):
+    """Huo et al.: server-side Polyak momentum on the round pseudo-gradient.
+
+    Per round: Δ = w_prev − mean(worker models); m ← β·m + Δ;
+    w ← w_prev − m.  β=0 reduces to FedAvg (unit-tested).
+    """
+
+    name = "FedMom"
+
+    def __init__(
+        self,
+        federation: Federation,
+        *,
+        eta: float = 0.01,
+        tau: int = 20,
+        beta: float = 0.5,
+    ):
+        super().__init__(federation, eta=eta, tau=tau)
+        self.beta = check_fraction(beta, "beta")
+
+    def config(self) -> dict:
+        return {**super().config(), "beta": self.beta}
+
+    def _setup(self) -> None:
+        super()._setup()
+        self.server_params = self.fed.initial_params()
+        self.server_momentum = np.zeros(self.fed.dim)
+
+    def _step(self, t: int) -> float:
+        loss = self._local_sgd_iteration()
+        if t % self.tau == 0:
+            delta = self.server_params - self._average_models()
+            self.server_momentum = self.beta * self.server_momentum + delta
+            self.server_params = self.server_params - self.server_momentum
+            self._broadcast(self.server_params)
+            self.history.edge_cloud_rounds += 1
+        return loss
+
+    def _global_params(self) -> np.ndarray:
+        return self.server_params.copy()
+
+
+class SlowMo(TwoTierAlgorithm):
+    """Wang et al. ICLR'20: slow momentum over rounds.
+
+    Per round: d = (w_prev − mean(models)) / η  (pseudo-gradient);
+    u ← β·u + d; w ← w_prev − α·η·u.  α=1, β=0 reduces to FedAvg.
+    """
+
+    name = "SlowMo"
+
+    def __init__(
+        self,
+        federation: Federation,
+        *,
+        eta: float = 0.01,
+        tau: int = 20,
+        beta: float = 0.5,
+        alpha: float = 1.0,
+    ):
+        super().__init__(federation, eta=eta, tau=tau)
+        self.beta = check_fraction(beta, "beta")
+        self.alpha = check_positive(alpha, "alpha")
+
+    def config(self) -> dict:
+        return {**super().config(), "beta": self.beta, "alpha": self.alpha}
+
+    def _setup(self) -> None:
+        super()._setup()
+        self.server_params = self.fed.initial_params()
+        self.slow_momentum = np.zeros(self.fed.dim)
+
+    def _step(self, t: int) -> float:
+        loss = self._local_sgd_iteration()
+        if t % self.tau == 0:
+            pseudo_grad = (self.server_params - self._average_models()) / self.eta
+            self.slow_momentum = self.beta * self.slow_momentum + pseudo_grad
+            self.server_params = (
+                self.server_params - self.alpha * self.eta * self.slow_momentum
+            )
+            self._broadcast(self.server_params)
+            self.history.edge_cloud_rounds += 1
+        return loss
+
+    def _global_params(self) -> np.ndarray:
+        return self.server_params.copy()
+
+
+class Mime(TwoTierAlgorithm):
+    """Karimireddy et al.: mimic centralized SGD-with-momentum.
+
+    The server momentum statistic ``s`` is *frozen during local steps*:
+    every worker update is ``x ← x − η((1−β)·g + β·s)``.  At each round
+    the server refreshes ``s ← (1−β)·ḡ + β·s`` with the average worker
+    gradient evaluated at the aggregated model (MimeLite's approximation).
+    """
+
+    name = "Mime"
+
+    def __init__(
+        self,
+        federation: Federation,
+        *,
+        eta: float = 0.01,
+        tau: int = 20,
+        beta: float = 0.5,
+    ):
+        super().__init__(federation, eta=eta, tau=tau)
+        self.beta = check_fraction(beta, "beta")
+
+    def config(self) -> dict:
+        return {**super().config(), "beta": self.beta}
+
+    def _setup(self) -> None:
+        super()._setup()
+        self.server_state = np.zeros(self.fed.dim)
+
+    def _step(self, t: int) -> float:
+        total = 0.0
+        for worker in range(self.fed.num_workers):
+            grad, loss = self.fed.gradient(worker, self.x[worker])
+            total += loss
+            update = (1.0 - self.beta) * grad + self.beta * self.server_state
+            self.x[worker] = self.x[worker] - self.eta * update
+        if t % self.tau == 0:
+            x_bar = self._average_models()
+            grads = []
+            for worker in range(self.fed.num_workers):
+                grad, _ = self.fed.gradient(worker, x_bar)
+                grads.append(grad)
+            mean_grad = self.fed.global_average_workers(grads)
+            self.server_state = (
+                (1.0 - self.beta) * mean_grad + self.beta * self.server_state
+            )
+            self._broadcast(x_bar)
+            self.history.edge_cloud_rounds += 1
+        return total / self.fed.num_workers
+
+
+class FedADC(TwoTierAlgorithm):
+    """Ozfatura et al. ISIT'21: accelerated FL with drift control.
+
+    The server keeps a momentum over round pseudo-gradients; each round it
+    broadcasts the momentum and workers *seed their local momentum buffer*
+    with it, so local updates start aligned with the global direction
+    (the drift-control mechanism).  Locally workers run Polyak-momentum
+    SGD on that buffer.
+    """
+
+    name = "FedADC"
+
+    def __init__(
+        self,
+        federation: Federation,
+        *,
+        eta: float = 0.01,
+        tau: int = 20,
+        beta: float = 0.5,
+    ):
+        super().__init__(federation, eta=eta, tau=tau)
+        self.beta = check_fraction(beta, "beta")
+
+    def config(self) -> dict:
+        return {**super().config(), "beta": self.beta}
+
+    def _setup(self) -> None:
+        super()._setup()
+        self.server_params = self.fed.initial_params()
+        self.server_momentum = np.zeros(self.fed.dim)
+        self.local_momentum = [
+            np.zeros(self.fed.dim) for _ in range(self.fed.num_workers)
+        ]
+
+    def _step(self, t: int) -> float:
+        total = 0.0
+        for worker in range(self.fed.num_workers):
+            grad, loss = self.fed.gradient(worker, self.x[worker])
+            total += loss
+            buffer = self.beta * self.local_momentum[worker] + grad
+            self.local_momentum[worker] = buffer
+            self.x[worker] = self.x[worker] - self.eta * buffer
+        if t % self.tau == 0:
+            pseudo_grad = (
+                self.server_params - self._average_models()
+            ) / (self.eta * self.tau)
+            self.server_momentum = (
+                self.beta * self.server_momentum
+                + (1.0 - self.beta) * pseudo_grad
+            )
+            self.server_params = self._average_models()
+            self._broadcast(self.server_params)
+            for worker in range(self.fed.num_workers):
+                self.local_momentum[worker] = self.server_momentum.copy()
+            self.history.edge_cloud_rounds += 1
+        return total / self.fed.num_workers
+
+    def _global_params(self) -> np.ndarray:
+        return self._average_models()
+
+
+class FastSlowMo(TwoTierAlgorithm):
+    """Yang et al. TAI'22: combined worker (fast) and server (slow) momenta.
+
+    Workers run NAG locally (as FedNAG); every round the server aggregates
+    model and momentum, then applies a SlowMo-style slow-momentum step to
+    the aggregated model before redistribution.
+    """
+
+    name = "FastSlowMo"
+
+    def __init__(
+        self,
+        federation: Federation,
+        *,
+        eta: float = 0.01,
+        tau: int = 20,
+        gamma: float = 0.5,
+        beta: float = 0.5,
+        alpha: float = 1.0,
+    ):
+        super().__init__(federation, eta=eta, tau=tau)
+        self.gamma = check_fraction(gamma, "gamma")
+        self.beta = check_fraction(beta, "beta")
+        self.alpha = check_positive(alpha, "alpha")
+
+    def config(self) -> dict:
+        return {
+            **super().config(),
+            "gamma": self.gamma,
+            "beta": self.beta,
+            "alpha": self.alpha,
+        }
+
+    def _setup(self) -> None:
+        super()._setup()
+        self.y = [x.copy() for x in self.x]
+        self.server_params = self.fed.initial_params()
+        self.slow_momentum = np.zeros(self.fed.dim)
+
+    def _step(self, t: int) -> float:
+        total = 0.0
+        for worker in range(self.fed.num_workers):
+            grad, loss = self.fed.gradient(worker, self.x[worker])
+            total += loss
+            y_new = self.x[worker] - self.eta * grad
+            self.x[worker] = y_new + self.gamma * (y_new - self.y[worker])
+            self.y[worker] = y_new
+        if t % self.tau == 0:
+            x_bar = self._average_models()
+            y_bar = self.fed.global_average_workers(self.y)
+            pseudo_grad = (self.server_params - x_bar) / self.eta
+            self.slow_momentum = self.beta * self.slow_momentum + pseudo_grad
+            self.server_params = (
+                self.server_params - self.alpha * self.eta * self.slow_momentum
+            )
+            for worker in range(self.fed.num_workers):
+                self.x[worker] = self.server_params.copy()
+                self.y[worker] = y_bar.copy()
+            self.history.edge_cloud_rounds += 1
+        return total / self.fed.num_workers
+
+    def _global_params(self) -> np.ndarray:
+        return self.server_params.copy()

@@ -1,0 +1,232 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Usage examples::
+
+    python -m repro table2 --combo Logistic/MNIST --iterations 300
+    python -m repro run --algorithm HierAdMo --model cnn --iterations 200
+    python -m repro noniid --levels 3 6 9
+    python -m repro adaptive --gamma 0.6
+    python -m repro timing --target 0.9
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.algorithms import ALGORITHM_REGISTRY
+from repro.experiments import (
+    ExperimentConfig,
+    best_fixed_gamma,
+    format_results_table,
+    run_adaptive_comparison,
+    run_noniid_sweep,
+    run_single,
+    run_table2_column,
+    run_time_to_accuracy,
+)
+from repro.experiments.table2 import TABLE2_COMBOS
+from repro.metrics import save_history
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="mnist")
+    parser.add_argument("--model", default="logistic")
+    parser.add_argument("--samples", type=int, default=1600)
+    parser.add_argument("--edges", type=int, default=2)
+    parser.add_argument("--workers-per-edge", type=int, default=2)
+    parser.add_argument("--classes-per-worker", type=int, default=3)
+    parser.add_argument("--eta", type=float, default=0.01)
+    parser.add_argument("--gamma", type=float, default=0.5)
+    parser.add_argument("--tau", type=int, default=10)
+    parser.add_argument("--pi", type=int, default=2)
+    parser.add_argument("--iterations", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset=args.dataset,
+        model=args.model,
+        num_samples=args.samples,
+        num_edges=args.edges,
+        workers_per_edge=args.workers_per_edge,
+        classes_per_worker=args.classes_per_worker,
+        eta=args.eta,
+        gamma=args.gamma,
+        tau=args.tau,
+        pi=args.pi,
+        total_iterations=args.iterations,
+        seed=args.seed,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HierAdMo reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="train one algorithm")
+    run_parser.add_argument(
+        "--algorithm", default="HierAdMo", choices=sorted(ALGORITHM_REGISTRY)
+    )
+    run_parser.add_argument("--save", help="write the history JSON here")
+    _add_config_arguments(run_parser)
+
+    table_parser = sub.add_parser("table2", help="one Table II column")
+    table_parser.add_argument(
+        "--combo", default="Logistic/MNIST", choices=sorted(TABLE2_COMBOS)
+    )
+    _add_config_arguments(table_parser)
+
+    noniid_parser = sub.add_parser("noniid", help="Fig 2(e-g) sweep")
+    noniid_parser.add_argument(
+        "--levels", type=int, nargs="+", default=[3, 6, 9]
+    )
+    _add_config_arguments(noniid_parser)
+
+    adaptive_parser = sub.add_parser("adaptive", help="Fig 2(i-k) panel")
+    _add_config_arguments(adaptive_parser)
+
+    timing_parser = sub.add_parser("timing", help="Fig 2(h/l) replay")
+    timing_parser.add_argument("--target", type=float, default=0.9)
+    _add_config_arguments(timing_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="grid sweep, e.g. --grid eta=0.01,0.05 tau=5,10"
+    )
+    sweep_parser.add_argument(
+        "--algorithms", nargs="+", default=["HierAdMo", "FedAvg"]
+    )
+    sweep_parser.add_argument(
+        "--grid", nargs="+", required=True,
+        help="field=v1,v2 pairs over ExperimentConfig fields",
+    )
+    _add_config_arguments(sweep_parser)
+
+    report_parser = sub.add_parser(
+        "report", help="run a reproduction report (markdown)"
+    )
+    report_parser.add_argument("--scale", default="quick",
+                               choices=["quick", "full"])
+    report_parser.add_argument("--out", help="write the report here")
+    report_parser.add_argument(
+        "--sections", nargs="+",
+        default=["table2", "noniid", "adaptive", "timing", "theory"],
+    )
+
+    sub.add_parser("list", help="list algorithms and Table II combos")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("algorithms: " + ", ".join(sorted(ALGORITHM_REGISTRY)))
+        print("table2 combos: " + ", ".join(sorted(TABLE2_COMBOS)))
+        return 0
+
+    if args.command == "sweep":
+        from repro.experiments.grid import format_grid, run_grid
+
+        config = _config_from_args(args)
+        grid: dict[str, list] = {}
+        for pair in args.grid:
+            if "=" not in pair:
+                raise SystemExit(f"bad --grid entry {pair!r}: want field=v1,v2")
+            field, raw = pair.split("=", 1)
+            values: list = []
+            for token in raw.split(","):
+                try:
+                    values.append(int(token))
+                except ValueError:
+                    try:
+                        values.append(float(token))
+                    except ValueError:
+                        values.append(token)
+            grid[field] = values
+        results = run_grid(
+            tuple(args.algorithms), grid, base_config=config
+        )
+        print(format_grid(results))
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        text = generate_report(
+            args.out, scale=args.scale, sections=tuple(args.sections)
+        )
+        print(text)
+        return 0
+
+    config = _config_from_args(args)
+
+    if args.command == "run":
+        history = run_single(args.algorithm, config)
+        for t, accuracy in zip(history.iterations, history.test_accuracy):
+            print(f"iteration {t:6d}: accuracy {accuracy:.4f}")
+        print(f"final accuracy: {history.final_accuracy:.4f}")
+        if args.save:
+            save_history(history, args.save)
+            print(f"history written to {args.save}")
+        return 0
+
+    if args.command == "table2":
+        column = run_table2_column(args.combo, base_config=config)
+        print(format_results_table(
+            {name: {args.combo: acc} for name, acc in column.items()},
+            value_format="{:.4f}",
+            title=f"Table II column: {args.combo}",
+        ))
+        return 0
+
+    if args.command == "noniid":
+        sweep = run_noniid_sweep(
+            tuple(args.levels), base_config=config
+        )
+        table = {
+            name: {
+                f"x={x}": sweep[x][name].final_accuracy
+                for x in sorted(sweep)
+            }
+            for name in next(iter(sweep.values()))
+        }
+        print(format_results_table(
+            table, value_format="{:.3f}",
+            title="Fig 2(e-g): accuracy vs non-iid level",
+        ))
+        return 0
+
+    if args.command == "adaptive":
+        results = run_adaptive_comparison(args.gamma, base_config=config)
+        best, best_accuracy = best_fixed_gamma(results)
+        print(json.dumps(results, indent=2))
+        print(f"best fixed gamma_l: {best} at {best_accuracy:.4f}")
+        return 0
+
+    if args.command == "timing":
+        results = run_time_to_accuracy(
+            ("HierAdMo", "HierAdMo-R", "HierFAVG", "FedNAG", "FedAvg"),
+            target=args.target,
+            base_config=config.with_overrides(eval_every=10),
+        )
+        for name, result in results.items():
+            if result.seconds is None:
+                print(f"{name:<12} never reached {args.target}")
+            else:
+                print(f"{name:<12} {result.seconds:9.1f}s "
+                      f"(iteration {result.iteration})")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Update compression for communication-efficient FL (extension)."""
+
+from repro.compression.operators import (
+    CompressionResult,
+    Compressor,
+    NoCompression,
+    TopKSparsifier,
+    UniformQuantizer,
+)
+
+__all__ = [
+    "CompressionResult",
+    "Compressor",
+    "NoCompression",
+    "UniformQuantizer",
+    "TopKSparsifier",
+]

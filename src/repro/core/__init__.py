@@ -1,0 +1,22 @@
+"""The paper's contribution: HierAdMo and its runtime."""
+
+from repro.core.adaptive import (
+    GAMMA_CAP,
+    AdaptiveGammaController,
+    adapt_gamma,
+    cosine_agreement,
+)
+from repro.core.base import FLAlgorithm
+from repro.core.federation import Federation
+from repro.core.hieradmo import HierAdMo, HierAdMoR
+
+__all__ = [
+    "Federation",
+    "FLAlgorithm",
+    "HierAdMo",
+    "HierAdMoR",
+    "AdaptiveGammaController",
+    "adapt_gamma",
+    "cosine_agreement",
+    "GAMMA_CAP",
+]

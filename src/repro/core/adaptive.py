@@ -1,0 +1,133 @@
+"""Online adaptive edge-momentum factor (paper eqs. 6–7).
+
+At each edge aggregation ``k`` the edge node computes, per worker, the
+cosine of the angle between the *negative accumulated gradient* and the
+*accumulated momentum* over the last edge interval, takes the
+data-weighted average over its workers (eq. 6), and clips the result to
+``[0, 0.99]`` (eq. 7).  The clipped value is the edge-momentum weight γℓ:
+disagreement (obtuse angle) zeroes the edge momentum, near-perfect
+agreement saturates at 0.99 to avoid divergence.
+
+Two readings of the momentum accumulator are supported (DESIGN.md §6):
+
+* ``"velocity"`` (default) — the momentum is the NAG velocity
+  ``v^t = y^t − y^{t−1}`` (the paper's Appendix-A equivalent form, where
+  the footnote's "worker momenta" language is meaningful).  The first
+  local step after a synchronization is excluded from the sums: its
+  velocity straddles the redistribution boundary and contains the edge
+  node's own momentum jump rather than the worker's training direction,
+  which otherwise produces a γℓ = 0.99 ⇄ 0 oscillation.
+* ``"y"`` — the literal main-text sums ``Σ y^t`` over the NAG auxiliary
+  sequence.  In high dimension the static component of ``y`` (the model
+  weights themselves) makes the cosine concentrate near 0, so this
+  reading effectively disables the edge momentum; it is kept for
+  fidelity and for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cosine_agreement", "adapt_gamma", "AdaptiveGammaController"]
+
+GAMMA_CAP = 0.99
+
+
+def cosine_agreement(
+    grad_sums: list[np.ndarray],
+    momentum_sums: list[np.ndarray],
+    weights: np.ndarray,
+) -> float:
+    """Eq. (6): weighted average of per-worker cos⟨−Σ∇F, Σmomentum⟩.
+
+    Workers whose accumulated vectors are (numerically) zero contribute a
+    cosine of 0 — there is no direction to agree or disagree with.
+    """
+    if not len(grad_sums) == len(momentum_sums) == len(weights):
+        raise ValueError(
+            f"mismatched lengths: {len(grad_sums)} grads, "
+            f"{len(momentum_sums)} momenta, {len(weights)} weights"
+        )
+    total = 0.0
+    for grad_sum, momentum_sum, weight in zip(
+        grad_sums, momentum_sums, weights
+    ):
+        grad_norm = np.linalg.norm(grad_sum)
+        momentum_norm = np.linalg.norm(momentum_sum)
+        if grad_norm < 1e-12 or momentum_norm < 1e-12:
+            continue
+        cosine = float(
+            np.dot(-grad_sum, momentum_sum) / (grad_norm * momentum_norm)
+        )
+        # Guard against floating-point drift outside [-1, 1].
+        total += weight * min(1.0, max(-1.0, cosine))
+    return total
+
+
+def adapt_gamma(cosine: float, cap: float = GAMMA_CAP) -> float:
+    """Eq. (7): γℓ = 0 for cos≤0, cos for 0<cos<cap, cap for cos≥cap."""
+    if not -1.0 <= cosine <= 1.0:
+        raise ValueError(f"cosine must be in [-1, 1], got {cosine}")
+    if cosine <= 0.0:
+        return 0.0
+    return min(cosine, cap)
+
+
+class AdaptiveGammaController:
+    """Per-edge γℓ adaptation with interval accumulators.
+
+    One controller instance serves all edges: workers feed their
+    per-iteration gradient and momentum vectors via :meth:`accumulate`,
+    and each edge aggregation calls :meth:`gamma_for_edge` then
+    :meth:`reset_workers`.
+    """
+
+    def __init__(self, num_workers: int, dim: int, mode: str = "velocity"):
+        if mode not in ("velocity", "y"):
+            raise ValueError(f"mode must be 'velocity' or 'y', got {mode!r}")
+        self.mode = mode
+        self.grad_sums = [np.zeros(dim) for _ in range(num_workers)]
+        self.momentum_sums = [np.zeros(dim) for _ in range(num_workers)]
+        # In velocity mode the step right after a sync is excluded (its
+        # velocity carries the redistribution jump, not training signal).
+        self._boundary = [True] * num_workers
+
+    def accumulate(
+        self,
+        worker: int,
+        grad: np.ndarray,
+        y_prev: np.ndarray,
+        velocity: np.ndarray,
+    ) -> None:
+        """Record one local iteration of ``worker``.
+
+        ``y_prev`` is the worker's y before the update (the literal eq.-6
+        accumulator); ``velocity`` is ``y_new − y_prev``.
+        """
+        if self.mode == "velocity":
+            if self._boundary[worker]:
+                self._boundary[worker] = False
+                return
+            self.grad_sums[worker] += grad
+            self.momentum_sums[worker] += velocity
+        else:
+            self.grad_sums[worker] += grad
+            self.momentum_sums[worker] += y_prev
+
+    def gamma_for_edge(
+        self, worker_indices: list[int], weights: np.ndarray
+    ) -> float:
+        """γℓ for one edge from its workers' accumulators (eqs. 6–7)."""
+        cosine = cosine_agreement(
+            [self.grad_sums[i] for i in worker_indices],
+            [self.momentum_sums[i] for i in worker_indices],
+            weights,
+        )
+        return adapt_gamma(cosine)
+
+    def reset_workers(self, worker_indices: list[int]) -> None:
+        """Zero the accumulators after an edge aggregation."""
+        for index in worker_indices:
+            self.grad_sums[index].fill(0.0)
+            self.momentum_sums[index].fill(0.0)
+            self._boundary[index] = True

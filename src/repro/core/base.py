@@ -1,0 +1,121 @@
+"""Base class shared by every federated-learning algorithm.
+
+Subclasses implement three hooks:
+
+* ``_setup()`` — allocate per-worker / per-edge / server state,
+* ``_step(t)`` — one local iteration across all workers plus whatever
+  aggregation the algorithm schedules at ``t``; returns the mean training
+  batch loss of the iteration,
+* ``_global_params()`` — the algorithm's current notion of the global
+  model (evaluated on the test set at each evaluation point).
+
+``run`` drives the iteration loop, the evaluation schedule and history
+recording so individual algorithms stay close to their paper pseudocode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.federation import Federation
+from repro.metrics.history import TrainingHistory
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = ["FLAlgorithm"]
+
+
+class FLAlgorithm:
+    """Abstract federated-learning algorithm."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        federation: Federation,
+        *,
+        eta: float = 0.01,
+        eta_schedule=None,
+    ):
+        self.fed = federation
+        self.eta = check_positive(eta, "eta")
+        # Optional callable t -> learning rate (0-indexed iteration);
+        # applied before every _step so every algorithm supports decayed
+        # or warmed-up learning rates without per-algorithm code.
+        self.eta_schedule = eta_schedule
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _setup(self) -> None:
+        raise NotImplementedError
+
+    def _step(self, t: int) -> float:
+        raise NotImplementedError
+
+    def _global_params(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def config(self) -> dict:
+        """Hyper-parameters recorded into the history."""
+        return {"eta": self.eta}
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        total_iterations: int,
+        *,
+        eval_every: int | None = None,
+        history: TrainingHistory | None = None,
+        stop_on_divergence: bool = True,
+    ) -> TrainingHistory:
+        """Train for ``total_iterations`` local iterations (the paper's T).
+
+        ``eval_every`` defaults to ten evaluations per run.  The final
+        iteration is always evaluated.
+
+        With ``stop_on_divergence`` (default), a non-finite training
+        loss ends the run early and marks ``history.diverged`` instead
+        of silently training on NaNs for the remaining iterations.
+        """
+        total_iterations = check_positive_int(
+            total_iterations, "total_iterations"
+        )
+        if eval_every is None:
+            eval_every = max(1, total_iterations // 10)
+        eval_every = check_positive_int(eval_every, "eval_every")
+
+        if history is None:
+            history = self.fed.new_history(self.name, self.config())
+        self.history = history
+
+        self._setup()
+
+        accuracy, loss = self.fed.evaluate(self._global_params())
+        history.record_eval(0, accuracy, loss, train_loss=loss)
+
+        running_loss = 0.0
+        since_eval = 0
+        for t in range(1, total_iterations + 1):
+            if self.eta_schedule is not None:
+                self.eta = check_positive(
+                    self.eta_schedule(t - 1), "scheduled eta"
+                )
+            step_loss = self._step(t)
+            if stop_on_divergence and not np.isfinite(step_loss):
+                history.diverged = True
+                history.diverged_at = t
+                accuracy, loss = self.fed.evaluate(self._global_params())
+                history.record_eval(t, accuracy, loss, train_loss=step_loss)
+                return history
+            running_loss += step_loss
+            since_eval += 1
+            if t % eval_every == 0 or t == total_iterations:
+                accuracy, loss = self.fed.evaluate(self._global_params())
+                history.record_eval(
+                    t, accuracy, loss, train_loss=running_loss / since_eval
+                )
+                running_loss = 0.0
+                since_eval = 0
+        return history

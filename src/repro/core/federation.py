@@ -1,0 +1,153 @@
+"""Federation runtime: workers, samplers, weights and evaluation.
+
+A :class:`Federation` bundles everything an FL algorithm needs to run:
+
+* a single shared :class:`~repro.nn.supervised.SupervisedModel` used as a
+  stateless gradient oracle (parameters are set explicitly before every
+  use, so one module instance serves all workers — far cheaper than N
+  deep copies and numerically identical),
+* one seeded mini-batch sampler per worker,
+* the :class:`~repro.topology.Topology` with its aggregation weights,
+* the held-out test set for evaluation.
+
+Algorithms keep per-worker *state* (parameter and momentum vectors) as
+plain flat NumPy vectors and call :meth:`gradient` to get ``∇F_{i,ℓ}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.base import Dataset
+from repro.data.loader import BatchSampler, FullBatchSampler
+from repro.metrics.history import TrainingHistory
+from repro.nn.supervised import SupervisedModel
+from repro.topology import Topology
+from repro.utils.rng import RngStreams
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Federation"]
+
+
+class Federation:
+    """Runtime context shared by every FL algorithm in this library."""
+
+    def __init__(
+        self,
+        model: SupervisedModel,
+        edge_partitions: list[list[Dataset]],
+        test_set: Dataset,
+        *,
+        batch_size: int = 64,
+        seed: int = 0,
+        full_batch: bool = False,
+    ):
+        if not edge_partitions or any(not edge for edge in edge_partitions):
+            raise ValueError("edge_partitions must be a non-empty list of "
+                             "non-empty worker lists")
+        self.model = model
+        self.test_set = test_set
+        self.topology = Topology.from_partitions(edge_partitions)
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.streams = RngStreams(seed)
+
+        self.worker_datasets: list[Dataset] = [
+            worker for edge in edge_partitions for worker in edge
+        ]
+        if full_batch:
+            self.samplers = [
+                FullBatchSampler(ds) for ds in self.worker_datasets
+            ]
+        else:
+            self.samplers = [
+                BatchSampler(ds, batch_size, self.streams.get("sampler", i))
+                for i, ds in enumerate(self.worker_datasets)
+            ]
+
+        self._initial_params = model.get_flat_params()
+        # Cached weights.
+        self.edge_w = self.topology.edge_weights()
+        self.worker_w_in_edge = [
+            self.topology.worker_weights(edge)
+            for edge in range(self.topology.num_edges)
+        ]
+        self.global_worker_w = self.topology.global_worker_weights()
+
+    # ------------------------------------------------------------------
+    # Shape shortcuts
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return self.topology.num_edges
+
+    @property
+    def num_workers(self) -> int:
+        return self.topology.num_workers
+
+    @property
+    def dim(self) -> int:
+        """Model parameter dimension d."""
+        return self._initial_params.size
+
+    def initial_params(self) -> np.ndarray:
+        """Copy of the shared initial parameter vector x⁰."""
+        return self._initial_params.copy()
+
+    # ------------------------------------------------------------------
+    # Gradient oracle
+    # ------------------------------------------------------------------
+    def gradient(
+        self, worker: int, params: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        """``(∇F_{i,ℓ}(params), batch loss)`` on worker's next mini-batch."""
+        x, y = self.samplers[worker].next_batch()
+        return self.model.gradient(x, y, params)
+
+    # ------------------------------------------------------------------
+    # Aggregation helpers
+    # ------------------------------------------------------------------
+    def edge_average(
+        self, edge: int, vectors: list[np.ndarray]
+    ) -> np.ndarray:
+        """Weighted within-edge average Σᵢ (D_{i,ℓ}/Dℓ) vᵢ.
+
+        ``vectors`` is indexed by *flat* worker id.
+        """
+        indices = self.topology.edge_worker_indices(edge)
+        weights = self.worker_w_in_edge[edge]
+        out = np.zeros(self.dim)
+        for weight, index in zip(weights, indices):
+            out += weight * vectors[index]
+        return out
+
+    def cloud_average_edges(self, vectors: list[np.ndarray]) -> np.ndarray:
+        """Weighted over-edges average Σℓ (Dℓ/D) vℓ."""
+        out = np.zeros(self.dim)
+        for weight, vector in zip(self.edge_w, vectors):
+            out += weight * vector
+        return out
+
+    def global_average_workers(self, vectors: list[np.ndarray]) -> np.ndarray:
+        """Weighted over-all-workers average Σ (D_{i,ℓ}/D) vᵢℓ."""
+        out = np.zeros(self.dim)
+        for weight, vector in zip(self.global_worker_w, vectors):
+            out += weight * vector
+        return out
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, params: np.ndarray) -> tuple[float, float]:
+        """(test accuracy, test loss) of the model at ``params``."""
+        self.model.set_flat_params(params)
+        accuracy = self.model.accuracy(self.test_set.x, self.test_set.y)
+        loss = self.model.loss(self.test_set.x, self.test_set.y)
+        return accuracy, loss
+
+    def new_history(self, algorithm: str, config: dict) -> TrainingHistory:
+        """Fresh history tagged with the run configuration."""
+        config = dict(config)
+        config.setdefault("num_edges", self.num_edges)
+        config.setdefault("num_workers", self.num_workers)
+        config.setdefault("batch_size", self.batch_size)
+        return TrainingHistory(algorithm=algorithm, config=config)

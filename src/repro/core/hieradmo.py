@@ -1,0 +1,231 @@
+"""HierAdMo — the paper's Algorithm 1, line for line.
+
+Three nested schedules over ``T = K·τ = P·τ·π`` local iterations:
+
+* every iteration, each worker runs a NAG step (lines 5–6),
+* every ``τ`` iterations, each edge node adapts γℓ (lines 10, eqs. 6–7),
+  aggregates worker momentum (line 11), applies the edge momentum update
+  (lines 12–13) and redistributes (lines 14–15),
+* every ``τ·π`` iterations, the cloud averages the edges' aggregated
+  worker momenta and edge models and redistributes both all the way down
+  (lines 18–23).
+
+``HierAdMoR`` (the paper's HierAdMo-R ablation) is HierAdMo with a fixed
+edge momentum factor instead of the adaptive one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveGammaController
+from repro.core.base import FLAlgorithm
+from repro.core.federation import Federation
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["HierAdMo", "HierAdMoR"]
+
+
+class HierAdMo(FLAlgorithm):
+    """Adaptive two-level momentum hierarchical FL (Algorithm 1)."""
+
+    name = "HierAdMo"
+
+    def __init__(
+        self,
+        federation: Federation,
+        *,
+        eta: float = 0.01,
+        gamma: float = 0.5,
+        tau: int = 10,
+        pi: int = 2,
+        adaptive: bool = True,
+        gamma_edge: float = 0.5,
+        angle_mode: str = "velocity",
+        gamma_smoothing: float = 0.3,
+        track_mu: bool = False,
+    ):
+        super().__init__(federation, eta=eta)
+        self.gamma = check_fraction(gamma, "gamma")
+        self.tau = check_positive_int(tau, "tau")
+        self.pi = check_positive_int(pi, "pi")
+        self.adaptive = bool(adaptive)
+        self.gamma_edge = check_fraction(gamma_edge, "gamma_edge")
+        self.angle_mode = angle_mode
+        if not 0.0 < gamma_smoothing <= 1.0:
+            raise ValueError(
+                f"gamma_smoothing must be in (0, 1], got {gamma_smoothing}"
+            )
+        # EMA weight for the per-round adapted factor.  The raw eq.-7 rule
+        # (gamma_smoothing=1.0) flaps between 0.99 and 0 once the edge
+        # momentum starts overshooting, which eventually destabilizes long
+        # runs; the EMA converges to the equilibrium of that process —
+        # empirically right at the best fixed γℓ (see DESIGN.md §6).
+        self.gamma_smoothing = float(gamma_smoothing)
+        # When enabled, records ‖γ·v‖ and ‖η·∇F‖ per worker iteration so
+        # the trajectory constant μ (eq. 30) can be estimated with
+        # repro.theory.estimate_mu.
+        self.track_mu = bool(track_mu)
+
+    def config(self) -> dict:
+        return {
+            "eta": self.eta,
+            "gamma": self.gamma,
+            "tau": self.tau,
+            "pi": self.pi,
+            "adaptive": self.adaptive,
+            "gamma_edge": self.gamma_edge,
+            "angle_mode": self.angle_mode,
+            "gamma_smoothing": self.gamma_smoothing,
+        }
+
+    # ------------------------------------------------------------------
+    def _setup(self) -> None:
+        fed = self.fed
+        x0 = fed.initial_params()
+        # Worker state (lines 1): x⁰ identical everywhere, y⁰ = x⁰.
+        self.x = [x0.copy() for _ in range(fed.num_workers)]
+        self.y = [x0.copy() for _ in range(fed.num_workers)]
+        # Edge state (line 2): x⁰ℓ₊ = x⁰, y⁰ℓ₊ = x⁰ℓ₊.
+        self.edge_x_plus = [x0.copy() for _ in range(fed.num_edges)]
+        self.edge_y_plus = [x0.copy() for _ in range(fed.num_edges)]
+        # Latest aggregated worker momentum per edge (for the cloud step).
+        self.edge_y_minus = [x0.copy() for _ in range(fed.num_edges)]
+        self.controller = AdaptiveGammaController(
+            fed.num_workers, fed.dim, self.angle_mode
+        )
+        # Per-edge smoothed γℓ, started from a conservative prior of 0:
+        # the edge momentum only ramps up under sustained agreement, which
+        # protects the fragile early rounds at large worker momentum.
+        self._gamma_state: list[float] = [0.0] * fed.num_edges
+        # μ-estimation traces (eq. 30), filled only when track_mu is set.
+        self.velocity_norms: list[float] = []
+        self.gradient_step_norms: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _worker_iteration(self) -> float:
+        """Lines 4–6 for every worker; returns the mean batch loss."""
+        fed = self.fed
+        total_loss = 0.0
+        for worker in range(fed.num_workers):
+            grad, loss = fed.gradient(worker, self.x[worker])
+            total_loss += loss
+            y_new = self.x[worker] - self.eta * grad  # line 5
+            velocity = y_new - self.y[worker]
+            self.controller.accumulate(worker, grad, self.y[worker], velocity)
+            if self.track_mu:
+                self.velocity_norms.append(
+                    float(np.linalg.norm(self.gamma * velocity))
+                )
+                self.gradient_step_norms.append(
+                    float(np.linalg.norm(self.eta * grad))
+                )
+            self.x[worker] = y_new + self.gamma * velocity  # line 6
+            self.y[worker] = y_new
+        return total_loss / fed.num_workers
+
+    def _edge_update(self) -> dict[int, float]:
+        """Lines 8–15 for every edge; returns the γℓ used per edge."""
+        fed = self.fed
+        gammas: dict[int, float] = {}
+        for edge in range(fed.num_edges):
+            indices = fed.topology.edge_worker_indices(edge)
+            weights = fed.worker_w_in_edge[edge]
+
+            # Line 10: adapt γℓ (or keep it fixed for HierAdMo-R).
+            if self.adaptive:
+                measured = self.controller.gamma_for_edge(indices, weights)
+                previous = self._gamma_state[edge]
+                if measured < previous:
+                    # Disagreement: apply eq. (7) immediately — "scale
+                    # down the momentum when disagreement occurs".
+                    gamma_edge = measured
+                else:
+                    # Agreement: ramp up cautiously (EMA), so one noisy
+                    # high cosine cannot trigger a 0.99 extrapolation.
+                    gamma_edge = (
+                        (1.0 - self.gamma_smoothing) * previous
+                        + self.gamma_smoothing * measured
+                    )
+                self._gamma_state[edge] = gamma_edge
+            else:
+                gamma_edge = self.gamma_edge
+            gammas[edge] = gamma_edge
+            self.controller.reset_workers(indices)
+
+            # Line 11: worker momentum edge aggregation.
+            y_minus = fed.edge_average(edge, self.y)
+
+            # Line 12: edge momentum update (written exactly as the paper,
+            # although it algebraically equals the aggregated worker model).
+            x_plus_prev = self.edge_x_plus[edge]
+            y_plus = x_plus_prev.copy()
+            for weight, index in zip(weights, indices):
+                y_plus -= weight * (x_plus_prev - self.x[index])
+
+            # Line 13: edge model update.
+            x_plus = y_plus + gamma_edge * (y_plus - self.edge_y_plus[edge])
+
+            self.edge_y_plus[edge] = y_plus
+            self.edge_x_plus[edge] = x_plus
+            self.edge_y_minus[edge] = y_minus
+
+            # Lines 14–15: redistribution to workers.
+            for index in indices:
+                self.y[index] = y_minus.copy()
+                self.x[index] = x_plus.copy()
+        self.history.worker_edge_rounds += 1
+        return gammas
+
+    def _cloud_update(self) -> None:
+        """Lines 17–23."""
+        fed = self.fed
+        y_bar = fed.cloud_average_edges(self.edge_y_minus)  # line 18
+        x_bar = fed.cloud_average_edges(self.edge_x_plus)  # line 19
+        for edge in range(fed.num_edges):
+            self.edge_y_minus[edge] = y_bar.copy()  # line 20
+            self.edge_x_plus[edge] = x_bar.copy()  # line 21
+        for worker in range(fed.num_workers):
+            self.y[worker] = y_bar.copy()  # line 22
+            self.x[worker] = x_bar.copy()  # line 23
+        self.history.edge_cloud_rounds += 1
+
+    # ------------------------------------------------------------------
+    def _step(self, t: int) -> float:
+        loss = self._worker_iteration()
+        if t % self.tau == 0:
+            gammas = self._edge_update()
+            self.history.record_gammas(gammas)
+        if t % (self.tau * self.pi) == 0:
+            self._cloud_update()
+        return loss
+
+    def _global_params(self) -> np.ndarray:
+        """Data-weighted average of the current worker models."""
+        return self.fed.global_average_workers(self.x)
+
+
+class HierAdMoR(HierAdMo):
+    """HierAdMo-R: the reduced version with a fixed edge momentum factor."""
+
+    name = "HierAdMo-R"
+
+    def __init__(
+        self,
+        federation: Federation,
+        *,
+        eta: float = 0.01,
+        gamma: float = 0.5,
+        tau: int = 10,
+        pi: int = 2,
+        gamma_edge: float = 0.5,
+    ):
+        super().__init__(
+            federation,
+            eta=eta,
+            gamma=gamma,
+            tau=tau,
+            pi=pi,
+            adaptive=False,
+            gamma_edge=gamma_edge,
+        )

@@ -1,0 +1,72 @@
+"""Heterogeneity diagnostics for federated partitions.
+
+The paper quantifies heterogeneity through the gradient-diversity bound
+δ_{i,ℓ} (Assumption 3).  Before training, heterogeneity is already
+visible in the *label distributions*: these helpers measure it directly,
+so experiments can report the heterogeneity level of a partition and
+correlate it with the measured δ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.base import Dataset
+
+__all__ = [
+    "label_distribution_matrix",
+    "js_divergence_from_global",
+    "heterogeneity_summary",
+]
+
+
+def label_distribution_matrix(parts: list[Dataset]) -> np.ndarray:
+    """Row i = worker i's label distribution (rows sum to 1)."""
+    if not parts:
+        raise ValueError("no partitions given")
+    num_classes = parts[0].num_classes
+    matrix = np.zeros((len(parts), num_classes))
+    for row, part in enumerate(parts):
+        if part.num_classes != num_classes:
+            raise ValueError("partitions disagree on num_classes")
+        counts = part.class_counts().astype(np.float64)
+        total = counts.sum()
+        if total == 0:
+            raise ValueError(f"worker {row} has no samples")
+        matrix[row] = counts / total
+    return matrix
+
+
+def _kl(p: np.ndarray, q: np.ndarray) -> float:
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log2(p[mask] / q[mask])))
+
+
+def js_divergence_from_global(parts: list[Dataset]) -> np.ndarray:
+    """Per-worker Jensen–Shannon divergence (bits) from the pooled
+    label distribution, weighted-pooling by worker size."""
+    matrix = label_distribution_matrix(parts)
+    sizes = np.array([len(p) for p in parts], dtype=np.float64)
+    global_dist = (matrix * (sizes / sizes.sum())[:, None]).sum(axis=0)
+    out = np.empty(len(parts))
+    for row in range(len(parts)):
+        mixture = 0.5 * (matrix[row] + global_dist)
+        out[row] = 0.5 * _kl(matrix[row], mixture) + 0.5 * _kl(
+            global_dist, mixture
+        )
+    return out
+
+
+def heterogeneity_summary(parts: list[Dataset]) -> dict:
+    """Compact summary: mean/max JS divergence, class coverage, sizes."""
+    divergences = js_divergence_from_global(parts)
+    matrix = label_distribution_matrix(parts)
+    coverage = (matrix > 0).sum(axis=1)
+    return {
+        "num_workers": len(parts),
+        "mean_js_divergence_bits": float(divergences.mean()),
+        "max_js_divergence_bits": float(divergences.max()),
+        "mean_classes_per_worker": float(coverage.mean()),
+        "min_worker_size": int(min(len(p) for p in parts)),
+        "max_worker_size": int(max(len(p) for p in parts)),
+    }

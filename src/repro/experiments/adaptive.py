@@ -1,0 +1,57 @@
+"""Fig. 2 (i)–(k): adaptive γℓ vs exhaustive enumeration of fixed γℓ.
+
+For each worker-momentum setting γ ∈ {0.3, 0.6, 0.9}, the paper trains
+HierAdMo-R at every fixed γℓ on a grid and HierAdMo with adaptation, and
+shows the adaptive run lands at (or near) the best fixed value even
+though the best fixed γℓ differs per setting.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_single
+
+__all__ = ["run_adaptive_comparison", "best_fixed_gamma"]
+
+
+def run_adaptive_comparison(
+    gamma: float,
+    *,
+    fixed_grid: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    base_config: ExperimentConfig | None = None,
+) -> dict[str, float]:
+    """One panel: {"adaptive" | "fixed:<γℓ>" -> final accuracy}.
+
+    The paper's panels use CNN on CIFAR-10 with τ=20, π=2.
+    """
+    if base_config is None:
+        base_config = ExperimentConfig(
+            dataset="cifar10",
+            model="cnn",
+            tau=20,
+            pi=2,
+            total_iterations=240,
+        )
+    config = base_config.with_overrides(gamma=gamma)
+
+    results: dict[str, float] = {}
+    results["adaptive"] = run_single("HierAdMo", config).final_accuracy
+    for gamma_edge in fixed_grid:
+        fixed_config = config.with_overrides(gamma_edge=gamma_edge)
+        results[f"fixed:{gamma_edge:.1f}"] = run_single(
+            "HierAdMo-R", fixed_config
+        ).final_accuracy
+    return results
+
+
+def best_fixed_gamma(results: dict[str, float]) -> tuple[float, float]:
+    """(best fixed γℓ, its accuracy) from a panel's results."""
+    fixed = {
+        float(key.split(":")[1]): value
+        for key, value in results.items()
+        if key.startswith("fixed:")
+    }
+    if not fixed:
+        raise ValueError("results contain no fixed-γℓ entries")
+    best = max(fixed, key=fixed.get)
+    return best, fixed[best]

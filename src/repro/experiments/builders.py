@@ -1,0 +1,212 @@
+"""Builders: config -> datasets, model, federation, algorithm.
+
+This is the single place that knows how to wire a named dataset to a
+named model to a topology, so every table/figure runner (and the
+examples) share identical construction logic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import (
+    ALGORITHM_REGISTRY,
+    THREE_TIER_ALGORITHMS,
+)
+from repro.core.base import FLAlgorithm
+from repro.core.federation import Federation
+from repro.data import (
+    Dataset,
+    make_dataset,
+    partition_dirichlet,
+    partition_iid,
+    partition_xclass,
+    train_test_split,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.nn.models import (
+    make_cnn,
+    make_linear_regression,
+    make_logistic_regression,
+    make_resnet,
+    make_vgg,
+)
+from repro.nn.supervised import SupervisedModel
+from repro.utils.rng import RngStreams
+
+__all__ = [
+    "build_datasets",
+    "build_model",
+    "build_federation",
+    "build_algorithm",
+    "needs_flat_features",
+    "is_three_tier",
+]
+
+
+def needs_flat_features(model_name: str) -> bool:
+    """Convex models consume flat feature vectors; conv models need images."""
+    return model_name in ("linear", "logistic")
+
+
+def build_datasets(
+    config: ExperimentConfig,
+) -> tuple[list[list[Dataset]], Dataset]:
+    """(edge_partitions, test_set) for a config.
+
+    One corpus is generated and split, so train and test share class
+    prototypes; the training split is partitioned per the config scheme
+    and dealt to edges in contiguous groups.
+    """
+    streams = RngStreams(config.seed)
+    corpus = make_dataset(
+        config.dataset, config.num_samples, rng=streams.get("corpus")
+    )
+    if needs_flat_features(config.model):
+        corpus = corpus.flattened()
+    elif config.dataset == "har":
+        # Conv models need spatial input: fold the HAR feature vector
+        # into a single-channel square "sensor image" (64 -> 1x8x8),
+        # the common trick for CNNs on UCI-HAR feature vectors.
+        side = int(np.sqrt(corpus.num_features))
+        if side * side != corpus.num_features:
+            raise ValueError(
+                f"HAR feature count {corpus.num_features} is not square; "
+                "use a square num_features for conv models"
+            )
+        corpus = Dataset(
+            corpus.x.reshape(-1, 1, side, side),
+            corpus.y,
+            corpus.num_classes,
+            corpus.name,
+        )
+    train, test = train_test_split(
+        corpus, config.test_fraction, rng=streams.get("split")
+    )
+
+    if config.scheme == "iid":
+        parts = partition_iid(
+            train, config.num_workers, rng=streams.get("partition")
+        )
+    elif config.scheme == "xclass":
+        parts = partition_xclass(
+            train,
+            config.num_workers,
+            config.classes_per_worker,
+            rng=streams.get("partition"),
+        )
+    else:
+        parts = partition_dirichlet(
+            train,
+            config.num_workers,
+            config.dirichlet_alpha,
+            rng=streams.get("partition"),
+        )
+
+    edge_partitions = [
+        parts[e * config.workers_per_edge : (e + 1) * config.workers_per_edge]
+        for e in range(config.num_edges)
+    ]
+    return edge_partitions, test
+
+
+def build_model(
+    config: ExperimentConfig, sample: Dataset
+) -> SupervisedModel:
+    """Instantiate the named model for the dataset's shape."""
+    streams = RngStreams(config.seed)
+    rng = streams.get("model")
+    num_classes = sample.num_classes
+    kwargs = dict(config.model_kwargs)
+
+    if config.model == "linear":
+        return make_linear_regression(sample.num_features, num_classes, rng)
+    if config.model == "logistic":
+        return make_logistic_regression(sample.num_features, num_classes, rng)
+
+    if sample.x.ndim != 4:
+        raise ValueError(
+            f"model {config.model!r} needs image data, got feature shape "
+            f"{sample.feature_shape} (dataset {config.dataset!r})"
+        )
+    channels, image_size = sample.x.shape[1], sample.x.shape[2]
+    if config.model == "cnn":
+        kwargs.setdefault("width", 8)
+        kwargs.setdefault("hidden", 32)
+        return make_cnn(channels, image_size, num_classes, rng=rng, **kwargs)
+    if config.model == "vgg16":
+        kwargs.setdefault("width_multiplier", 1.0 / 16.0)
+        return make_vgg(
+            "vgg16", channels, image_size, num_classes, rng=rng, **kwargs
+        )
+    if config.model == "resnet18":
+        kwargs.setdefault("width_multiplier", 1.0 / 16.0)
+        return make_resnet(
+            "resnet18", channels, num_classes, rng=rng, **kwargs
+        )
+    raise ValueError(f"unknown model {config.model!r}")
+
+
+def build_federation(config: ExperimentConfig) -> Federation:
+    """Full federation for a config (fresh model + fresh samplers)."""
+    edge_partitions, test = build_datasets(config)
+    model = build_model(config, test)
+    return Federation(
+        model,
+        edge_partitions,
+        test,
+        batch_size=config.batch_size,
+        seed=config.seed,
+    )
+
+
+def build_algorithm(
+    name: str, federation: Federation, config: ExperimentConfig
+) -> FLAlgorithm:
+    """Instantiate a registry algorithm with the paper's hyper-parameters.
+
+    Three-tier algorithms receive (τ, π); two-tier baselines receive the
+    matched τ·π (the paper's fairness rule).  Momentum factors map to the
+    paper's γ = γℓ = 0.5 defaults unless the config overrides them.
+    """
+    if name not in ALGORITHM_REGISTRY:
+        raise ValueError(
+            f"unknown algorithm {name!r}; choose from "
+            f"{sorted(ALGORITHM_REGISTRY)}"
+        )
+    cls = ALGORITHM_REGISTRY[name]
+    eta = config.eta
+
+    if name == "HierAdMo":
+        return cls(
+            federation, eta=eta, gamma=config.gamma,
+            tau=config.tau, pi=config.pi,
+            angle_mode=config.angle_mode,
+            gamma_smoothing=config.gamma_smoothing,
+        )
+    if name == "HierAdMo-R":
+        return cls(
+            federation, eta=eta, gamma=config.gamma,
+            tau=config.tau, pi=config.pi, gamma_edge=config.gamma_edge,
+        )
+    if name in ("HierFAVG", "CFL"):
+        return cls(federation, eta=eta, tau=config.tau, pi=config.pi)
+
+    tau2 = config.two_tier_tau
+    if name == "FedAvg":
+        return cls(federation, eta=eta, tau=tau2)
+    if name == "FedNAG":
+        return cls(federation, eta=eta, tau=tau2, gamma=config.gamma)
+    if name in ("FedMom", "SlowMo", "Mime", "FedADC"):
+        return cls(federation, eta=eta, tau=tau2, beta=config.gamma_edge)
+    if name == "FastSlowMo":
+        return cls(
+            federation, eta=eta, tau=tau2,
+            gamma=config.gamma, beta=config.gamma_edge,
+        )
+    raise ValueError(f"no construction rule for {name!r}")
+
+
+def is_three_tier(name: str) -> bool:
+    """Whether an algorithm uses the edge level."""
+    return name in THREE_TIER_ALGORITHMS

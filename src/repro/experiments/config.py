@@ -1,0 +1,103 @@
+"""Experiment configuration shared by all table/figure runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = ["ExperimentConfig"]
+
+VALID_MODELS = ("linear", "logistic", "cnn", "vgg16", "resnet18")
+VALID_DATASETS = ("mnist", "cifar10", "imagenet", "har")
+VALID_SCHEMES = ("iid", "xclass", "dirichlet")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment's full recipe (data, topology, hyper-parameters).
+
+    Defaults mirror the paper's common setting scaled to CPU: 2 edges × 2
+    workers, γ = γℓ = 0.5, η = 0.01, τ = 10, π = 2, batch 64 → scaled to
+    batch 32 and small synthetic corpora.
+    """
+
+    # Data.
+    dataset: str = "mnist"
+    num_samples: int = 2000
+    test_fraction: float = 0.25
+    scheme: str = "xclass"
+    classes_per_worker: int = 3
+    dirichlet_alpha: float = 0.5
+
+    # Topology.
+    num_edges: int = 2
+    workers_per_edge: int = 2
+
+    # Model.
+    model: str = "cnn"
+    model_kwargs: dict = field(default_factory=dict)
+
+    # Optimization.
+    eta: float = 0.01
+    gamma: float = 0.5
+    gamma_edge: float = 0.5
+    tau: int = 10
+    pi: int = 2
+    batch_size: int = 32
+
+    # HierAdMo adaptation knobs (DESIGN.md §6.7–6.8).
+    angle_mode: str = "velocity"
+    gamma_smoothing: float = 0.3
+
+    # Run control.
+    total_iterations: int = 400
+    eval_every: int | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.dataset not in VALID_DATASETS:
+            raise ValueError(
+                f"dataset {self.dataset!r} not in {VALID_DATASETS}"
+            )
+        if self.model not in VALID_MODELS:
+            raise ValueError(f"model {self.model!r} not in {VALID_MODELS}")
+        if self.scheme not in VALID_SCHEMES:
+            raise ValueError(f"scheme {self.scheme!r} not in {VALID_SCHEMES}")
+        check_positive_int(self.num_samples, "num_samples")
+        check_probability(self.test_fraction, "test_fraction")
+        check_positive_int(self.num_edges, "num_edges")
+        check_positive_int(self.workers_per_edge, "workers_per_edge")
+        check_positive(self.eta, "eta")
+        check_fraction(self.gamma, "gamma")
+        check_fraction(self.gamma_edge, "gamma_edge")
+        check_positive_int(self.tau, "tau")
+        check_positive_int(self.pi, "pi")
+        check_positive_int(self.batch_size, "batch_size")
+        check_positive_int(self.total_iterations, "total_iterations")
+        if self.angle_mode not in ("velocity", "y"):
+            raise ValueError(
+                f"angle_mode must be 'velocity' or 'y', got {self.angle_mode!r}"
+            )
+        if not 0.0 < self.gamma_smoothing <= 1.0:
+            raise ValueError(
+                f"gamma_smoothing must be in (0, 1], got {self.gamma_smoothing}"
+            )
+
+    @property
+    def num_workers(self) -> int:
+        return self.num_edges * self.workers_per_edge
+
+    @property
+    def two_tier_tau(self) -> int:
+        """τ for two-tier baselines: the paper matches it to τ·π."""
+        return self.tau * self.pi
+
+    def with_overrides(self, **overrides) -> "ExperimentConfig":
+        """Functional update (configs are frozen)."""
+        return replace(self, **overrides)

@@ -1,0 +1,71 @@
+"""Generic experiment runner + result formatting."""
+
+from __future__ import annotations
+
+from repro.experiments.builders import build_algorithm, build_federation
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.history import TrainingHistory
+
+__all__ = ["run_single", "run_many", "format_results_table"]
+
+
+def run_single(
+    algorithm: str, config: ExperimentConfig
+) -> TrainingHistory:
+    """Build a fresh federation and run one algorithm on it.
+
+    Every algorithm gets an identically-seeded federation (same data
+    partition, same initial model, same batch sequence), so comparisons
+    isolate the algorithm itself.
+    """
+    federation = build_federation(config)
+    runner = build_algorithm(algorithm, federation, config)
+    return runner.run(
+        config.total_iterations, eval_every=config.eval_every
+    )
+
+
+def run_many(
+    algorithms: list[str] | tuple[str, ...],
+    config: ExperimentConfig,
+) -> dict[str, TrainingHistory]:
+    """Run several algorithms under the same config."""
+    return {name: run_single(name, config) for name in algorithms}
+
+
+def format_results_table(
+    results: dict[str, dict[str, float]],
+    *,
+    row_order: list[str] | None = None,
+    value_format: str = "{:.2f}",
+    title: str = "",
+) -> str:
+    """Render nested results {row -> {column -> value}} as aligned text.
+
+    Used by every bench to print the paper-style tables.
+    """
+    if not results:
+        return "(no results)"
+    columns = list(next(iter(results.values())).keys())
+    rows = row_order if row_order is not None else list(results.keys())
+
+    name_width = max(len(row) for row in rows) + 2
+    col_width = max(12, max(len(col) for col in columns) + 2)
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * name_width + "".join(
+        col.rjust(col_width) for col in columns
+    )
+    lines.append(header)
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = results[row].get(col)
+            if value is None:
+                cells.append("--".rjust(col_width))
+            else:
+                cells.append(value_format.format(value).rjust(col_width))
+        lines.append(row.ljust(name_width) + "".join(cells))
+    return "\n".join(lines)

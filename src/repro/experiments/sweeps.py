@@ -1,0 +1,91 @@
+"""Fig. 2 (a)–(c): effects of τ, π and their product on HierAdMo.
+
+The paper's setting: CNN on MNIST, 16 workers under 4 edge nodes,
+γ = 0.5, T = 1000.  Each sweep returns accuracy curves per setting so
+the benches can check the paper's monotonicity claims:
+
+* (a) larger τ at fixed π ⇒ worse accuracy at equal T,
+* (b) larger π at fixed τ ⇒ worse accuracy at equal T,
+* (c) at fixed τ·π, smaller τ (more frequent edge aggregation) wins.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_single
+from repro.metrics.history import TrainingHistory
+
+__all__ = [
+    "fig2_sweep_config",
+    "run_tau_sweep",
+    "run_pi_sweep",
+    "run_fixed_product_sweep",
+]
+
+
+def fig2_sweep_config(**overrides) -> ExperimentConfig:
+    """The Fig. 2(a–c) base setting, CPU-scaled: 4 edges × 4 workers."""
+    base = dict(
+        dataset="mnist",
+        model="cnn",
+        num_samples=2400,
+        num_edges=4,
+        workers_per_edge=4,
+        scheme="xclass",
+        classes_per_worker=4,
+        gamma=0.5,
+        eta=0.01,
+        total_iterations=240,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def run_tau_sweep(
+    taus: tuple[int, ...] = (5, 10, 20),
+    *,
+    pi: int = 2,
+    algorithm: str = "HierAdMo",
+    base_config: ExperimentConfig | None = None,
+) -> dict[int, TrainingHistory]:
+    """Fig. 2(a): vary τ at fixed π."""
+    base = base_config if base_config is not None else fig2_sweep_config()
+    out: dict[int, TrainingHistory] = {}
+    for tau in taus:
+        config = base.with_overrides(tau=tau, pi=pi)
+        out[tau] = run_single(algorithm, config)
+    return out
+
+
+def run_pi_sweep(
+    pis: tuple[int, ...] = (1, 2, 4),
+    *,
+    tau: int = 10,
+    algorithm: str = "HierAdMo",
+    base_config: ExperimentConfig | None = None,
+) -> dict[int, TrainingHistory]:
+    """Fig. 2(b): vary π at fixed τ."""
+    base = base_config if base_config is not None else fig2_sweep_config()
+    out: dict[int, TrainingHistory] = {}
+    for pi in pis:
+        config = base.with_overrides(tau=tau, pi=pi)
+        out[pi] = run_single(algorithm, config)
+    return out
+
+
+def run_fixed_product_sweep(
+    pairs: tuple[tuple[int, int], ...] = ((5, 8), (10, 4), (20, 2), (40, 1)),
+    *,
+    algorithm: str = "HierAdMo",
+    base_config: ExperimentConfig | None = None,
+) -> dict[tuple[int, int], TrainingHistory]:
+    """Fig. 2(c): vary (τ, π) with τ·π constant."""
+    products = {tau * pi for tau, pi in pairs}
+    if len(products) != 1:
+        raise ValueError(f"pairs must share one product, got {products}")
+    base = base_config if base_config is not None else fig2_sweep_config()
+    out: dict[tuple[int, int], TrainingHistory] = {}
+    for tau, pi in pairs:
+        config = base.with_overrides(tau=tau, pi=pi)
+        out[(tau, pi)] = run_single(algorithm, config)
+    return out

@@ -1,0 +1,142 @@
+"""Fig. 2 (h)/(l): trace-driven total-training-time comparison.
+
+Replays each algorithm's accuracy-vs-iteration trace against the device
+and link delay models to compute the wall-clock time at which it first
+reaches the target accuracy (0.95 in the paper).  Three-tier algorithms
+replay on the three-tier timeline (LAN to the edge, WAN only every
+τ·π); two-tier baselines pay the WAN on every aggregation.
+
+Momentum-shipping algorithms (HierAdMo/HierAdMo-R/FedNAG/FastSlowMo)
+transfer model + momentum, i.e. a 2× payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.builders import build_federation, is_three_tier
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_many
+from repro.metrics.history import TrainingHistory
+from repro.simulation import (
+    ThreeTierTimeline,
+    TwoTierTimeline,
+    time_to_accuracy,
+    worker_device_pool,
+)
+from repro.utils.rng import RngStreams
+
+__all__ = ["TimedResult", "run_time_to_accuracy", "PAYLOAD_MULTIPLIERS"]
+
+# Model+momentum shippers pay 2x traffic; plain model shippers pay 1x.
+PAYLOAD_MULTIPLIERS: dict[str, float] = {
+    "HierAdMo": 2.0,
+    "HierAdMo-R": 2.0,
+    "FedNAG": 2.0,
+    "FastSlowMo": 2.0,
+    "FedADC": 2.0,  # broadcasts server momentum alongside the model
+    "Mime": 2.0,  # broadcasts the server statistic alongside the model
+    "HierFAVG": 1.0,
+    "CFL": 1.0,
+    "FedMom": 1.0,
+    "SlowMo": 1.0,
+    "FedAvg": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class TimedResult:
+    """One algorithm's timing outcome."""
+
+    algorithm: str
+    seconds: float | None  # None = never reached the target
+    iteration: int | None
+    final_accuracy: float
+
+
+def run_time_to_accuracy(
+    algorithms: tuple[str, ...],
+    *,
+    target: float = 0.95,
+    base_config: ExperimentConfig | None = None,
+    timeline_seed: int = 7,
+    straggler_probability: float = 0.0,
+    straggler_factor: float = 8.0,
+) -> dict[str, TimedResult]:
+    """Run the algorithms, replay delays, report time-to-target.
+
+    ``straggler_probability`` > 0 wraps every worker device with
+    :class:`~repro.simulation.stragglers.StragglerDevice`, slowing a
+    fraction of iterations by ``straggler_factor``.
+    """
+    if base_config is None:
+        base_config = ExperimentConfig(
+            dataset="mnist",
+            model="cnn",
+            tau=10,
+            pi=2,
+            total_iterations=300,
+            eval_every=10,
+        )
+    histories = run_many(algorithms, base_config)
+
+    federation = build_federation(base_config)
+    payload_bytes = federation.dim * 8.0  # float64 parameters
+    topology = federation.topology
+    devices = worker_device_pool(topology.num_workers)
+    if straggler_probability > 0.0:
+        from repro.simulation.stragglers import add_stragglers
+
+        devices = add_stragglers(
+            devices, straggler_probability, straggler_factor
+        )
+    streams = RngStreams(timeline_seed)
+
+    out: dict[str, TimedResult] = {}
+    for name, history in histories.items():
+        multiplier = PAYLOAD_MULTIPLIERS.get(name, 1.0)
+        if is_three_tier(name):
+            timeline = ThreeTierTimeline(
+                topology,
+                devices,
+                payload_bytes,
+                payload_multiplier=multiplier,
+            )
+            times = timeline.simulate(
+                base_config.total_iterations,
+                base_config.tau,
+                base_config.pi,
+                rng=streams.get("timeline", name),
+            )
+        else:
+            timeline = TwoTierTimeline(
+                topology.num_workers,
+                devices,
+                payload_bytes,
+                payload_multiplier=multiplier,
+            )
+            times = timeline.simulate(
+                base_config.total_iterations,
+                base_config.two_tier_tau,
+                rng=streams.get("timeline", name),
+            )
+        seconds = time_to_accuracy(history, times, target)
+        out[name] = TimedResult(
+            algorithm=name,
+            seconds=seconds,
+            iteration=history.iterations_to_accuracy(target),
+            final_accuracy=history.final_accuracy,
+        )
+    return out
+
+
+def _speedups(results: dict[str, TimedResult]) -> dict[str, float]:
+    """Speedup of HierAdMo over each baseline that reached the target."""
+    reference = results.get("HierAdMo")
+    if reference is None or reference.seconds is None:
+        return {}
+    return {
+        name: result.seconds / reference.seconds
+        for name, result in results.items()
+        if name != "HierAdMo" and result.seconds is not None
+    }

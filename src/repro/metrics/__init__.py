@@ -1,0 +1,31 @@
+"""Evaluation metrics and training histories."""
+
+from repro.metrics.ascii_plot import ascii_curve, compare_curves, sparkline
+from repro.metrics.classification import (
+    confusion_matrix,
+    macro_f1,
+    per_class_accuracy,
+    top_k_accuracy,
+)
+from repro.metrics.history import TrainingHistory
+from repro.metrics.serialization import (
+    history_from_dict,
+    history_to_dict,
+    load_history,
+    save_history,
+)
+
+__all__ = [
+    "TrainingHistory",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "top_k_accuracy",
+    "macro_f1",
+    "sparkline",
+    "ascii_curve",
+    "compare_curves",
+    "history_to_dict",
+    "history_from_dict",
+    "save_history",
+    "load_history",
+]

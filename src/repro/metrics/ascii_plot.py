@@ -1,0 +1,105 @@
+"""Terminal plots for training curves.
+
+The examples and the CLI render accuracy curves without any plotting
+dependency: a fixed-size character grid for curves and one-line
+sparklines for compact comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["sparkline", "ascii_curve", "compare_curves"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, low: float | None = None, high: float | None = None) -> str:
+    """One-line block-character rendering of a series."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot sparkline an empty series")
+    low = float(values.min()) if low is None else float(low)
+    high = float(values.max()) if high is None else float(high)
+    if high - low < 1e-12:
+        return _BLOCKS[0] * values.size
+    scaled = (values - low) / (high - low)
+    indices = np.clip(
+        (scaled * (len(_BLOCKS) - 1)).round().astype(int),
+        0,
+        len(_BLOCKS) - 1,
+    )
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def ascii_curve(
+    xs,
+    ys,
+    *,
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Multi-line scatter/curve plot on a character grid."""
+    check_positive_int(width, "width")
+    check_positive_int(height, "height")
+    xs = np.asarray(list(xs), dtype=np.float64)
+    ys = np.asarray(list(ys), dtype=np.float64)
+    if xs.size != ys.size or xs.size == 0:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+
+    x_low, x_high = float(xs.min()), float(xs.max())
+    y_low, y_high = float(ys.min()), float(ys.max())
+    x_span = max(x_high - x_low, 1e-12)
+    y_span = max(y_high - y_low, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_low) / x_span * (width - 1))
+        row = height - 1 - int((y - y_low) / y_span * (height - 1))
+        grid[row][col] = "*"
+
+    lines = []
+    if label:
+        lines.append(label)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            margin = f"{y_high:8.3f} |"
+        elif row_index == height - 1:
+            margin = f"{y_low:8.3f} |"
+        else:
+            margin = " " * 9 + "|"
+        lines.append(margin + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_low:<10.0f}" + " " * max(width - 20, 0)
+        + f"{x_high:>10.0f}"
+    )
+    return "\n".join(lines)
+
+
+def compare_curves(histories: dict, *, width: int = 40) -> str:
+    """Sparkline comparison of several histories' accuracy curves."""
+    if not histories:
+        raise ValueError("no histories to compare")
+    all_values = [
+        value
+        for history in histories.values()
+        for value in history.test_accuracy
+    ]
+    low, high = min(all_values), max(all_values)
+    name_width = max(len(name) for name in histories) + 2
+    lines = []
+    for name, history in histories.items():
+        values = history.test_accuracy
+        if len(values) > width:
+            take = np.linspace(0, len(values) - 1, width).astype(int)
+            values = [values[i] for i in take]
+        lines.append(
+            name.ljust(name_width)
+            + sparkline(values, low, high)
+            + f"  {history.final_accuracy:.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Training history recorder.
+
+Every algorithm run produces a :class:`TrainingHistory`: accuracy/loss
+sampled on an evaluation schedule, plus algorithm-specific traces (the
+adaptive γℓ values, communication events) used by the figures and the
+trace-driven time simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Time series produced by one federated training run."""
+
+    algorithm: str
+    config: dict = field(default_factory=dict)
+
+    iterations: list[int] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+    test_loss: list[float] = field(default_factory=list)
+    train_loss: list[float] = field(default_factory=list)
+
+    # γℓ trace: one dict per edge aggregation {edge -> γℓ used}.
+    gamma_trace: list[dict[int, float]] = field(default_factory=list)
+
+    # Communication counters (events, not bytes; bytes = events × model size).
+    worker_edge_rounds: int = 0
+    edge_cloud_rounds: int = 0
+
+    # Set when the run was stopped early on a non-finite training loss.
+    diverged: bool = False
+    diverged_at: int | None = None
+
+    def record_eval(
+        self,
+        iteration: int,
+        test_accuracy: float,
+        test_loss: float,
+        train_loss: float,
+    ) -> None:
+        """Append one evaluation point."""
+        self.iterations.append(int(iteration))
+        self.test_accuracy.append(float(test_accuracy))
+        self.test_loss.append(float(test_loss))
+        self.train_loss.append(float(train_loss))
+
+    def record_gammas(self, gammas: dict[int, float]) -> None:
+        """Record the γℓ used at one edge aggregation."""
+        self.gamma_trace.append({int(k): float(v) for k, v in gammas.items()})
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy at the last evaluation point."""
+        if not self.test_accuracy:
+            raise ValueError("history has no evaluation points")
+        return self.test_accuracy[-1]
+
+    @property
+    def best_accuracy(self) -> float:
+        """Best accuracy over the run."""
+        if not self.test_accuracy:
+            raise ValueError("history has no evaluation points")
+        return max(self.test_accuracy)
+
+    def iterations_to_accuracy(self, target: float) -> int | None:
+        """First recorded iteration whose accuracy reaches ``target``.
+
+        Returns ``None`` if the run never got there — callers must handle
+        that case (the paper's Fig. 2 h/l time-to-accuracy comparison).
+        """
+        for iteration, accuracy in zip(self.iterations, self.test_accuracy):
+            if accuracy >= target:
+                return iteration
+        return None
+
+    def accuracy_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(iterations, accuracy) arrays for plotting."""
+        return (
+            np.asarray(self.iterations, dtype=np.int64),
+            np.asarray(self.test_accuracy, dtype=np.float64),
+        )
+
+    def summary(self) -> dict:
+        """Compact dict for result tables."""
+        return {
+            "algorithm": self.algorithm,
+            "final_accuracy": self.final_accuracy,
+            "best_accuracy": self.best_accuracy,
+            "iterations": self.iterations[-1] if self.iterations else 0,
+            "worker_edge_rounds": self.worker_edge_rounds,
+            "edge_cloud_rounds": self.edge_cloud_rounds,
+        }

@@ -1,0 +1,78 @@
+"""Save/load training histories as JSON.
+
+Experiment campaigns (the benches, long sweeps) archive their histories
+to disk so tables can be re-rendered without re-running training.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.metrics.history import TrainingHistory
+
+__all__ = ["history_to_dict", "history_from_dict", "save_history",
+           "load_history", "save_history_csv"]
+
+
+def history_to_dict(history: TrainingHistory) -> dict:
+    """Plain-JSON-type dict representation of a history."""
+    return {
+        "algorithm": history.algorithm,
+        "config": history.config,
+        "iterations": list(history.iterations),
+        "test_accuracy": list(history.test_accuracy),
+        "test_loss": list(history.test_loss),
+        "train_loss": list(history.train_loss),
+        "gamma_trace": [
+            {str(k): v for k, v in record.items()}
+            for record in history.gamma_trace
+        ],
+        "worker_edge_rounds": history.worker_edge_rounds,
+        "edge_cloud_rounds": history.edge_cloud_rounds,
+    }
+
+
+def history_from_dict(payload: dict) -> TrainingHistory:
+    """Inverse of :func:`history_to_dict`."""
+    history = TrainingHistory(
+        algorithm=payload["algorithm"],
+        config=dict(payload.get("config", {})),
+    )
+    history.iterations = [int(t) for t in payload["iterations"]]
+    history.test_accuracy = [float(a) for a in payload["test_accuracy"]]
+    history.test_loss = [float(v) for v in payload["test_loss"]]
+    history.train_loss = [float(v) for v in payload["train_loss"]]
+    history.gamma_trace = [
+        {int(k): float(v) for k, v in record.items()}
+        for record in payload.get("gamma_trace", [])
+    ]
+    history.worker_edge_rounds = int(payload.get("worker_edge_rounds", 0))
+    history.edge_cloud_rounds = int(payload.get("edge_cloud_rounds", 0))
+    return history
+
+
+def save_history(history: TrainingHistory, path: str | Path) -> None:
+    """Write one history as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(history_to_dict(history), indent=2), encoding="utf-8"
+    )
+
+
+def load_history(path: str | Path) -> TrainingHistory:
+    """Read a history previously written by :func:`save_history`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return history_from_dict(payload)
+
+
+def save_history_csv(history: TrainingHistory, path: str | Path) -> None:
+    """Write the evaluation series as CSV (for spreadsheets/plotting)."""
+    lines = ["iteration,test_accuracy,test_loss,train_loss"]
+    for row in zip(
+        history.iterations,
+        history.test_accuracy,
+        history.test_loss,
+        history.train_loss,
+    ):
+        lines.append(",".join(repr(value) for value in row))
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

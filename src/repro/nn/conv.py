@@ -1,0 +1,97 @@
+"""2-D convolution layer (im2col + GEMM)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init as init_mod
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """Cross-correlation over (N, C, H, W) inputs.
+
+    Weight shape is ``(out_channels, in_channels, kernel, kernel)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+        weight_init=init_mod.kaiming_normal,
+    ):
+        super().__init__()
+        self.in_channels = check_positive_int(in_channels, "in_channels")
+        self.out_channels = check_positive_int(out_channels, "out_channels")
+        self.kernel_size = check_positive_int(kernel_size, "kernel_size")
+        self.stride = check_positive_int(stride, "stride")
+        if padding < 0:
+            raise ValueError(f"padding must be >= 0, got {padding}")
+        self.padding = int(padding)
+
+        rng = make_rng(rng)
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(weight_init(shape, rng), "weight")
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(init_mod.zeros((out_channels,)), "bias")
+
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expects (N, {self.in_channels}, H, W) input, "
+                f"got {x.shape}"
+            )
+        n, _, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = conv_output_size(h, k, s, p)
+        out_w = conv_output_size(w, k, s, p)
+
+        cols = im2col(x, k, k, s, p)
+        weight_mat = self.weight.data.reshape(self.out_channels, -1)
+        out = cols @ weight_mat.T
+        if self.use_bias:
+            out = out + self.bias.data
+
+        self._cols = cols
+        self._x_shape = x.shape
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(
+            0, 3, 1, 2
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        k, s, p = self.kernel_size, self.stride, self.padding
+
+        # (N, F, OH, OW) -> (N*OH*OW, F) matching the im2col row order.
+        grad_mat = grad_output.transpose(0, 2, 3, 1).reshape(
+            -1, self.out_channels
+        )
+        weight_mat = self.weight.data.reshape(self.out_channels, -1)
+
+        self.weight.grad += (grad_mat.T @ self._cols).reshape(
+            self.weight.data.shape
+        )
+        if self.use_bias:
+            self.bias.grad += grad_mat.sum(axis=0)
+
+        grad_cols = grad_mat @ weight_mat
+        grad_input = col2im(grad_cols, self._x_shape, k, k, s, p)
+        self._cols = None
+        self._x_shape = None
+        return grad_input

@@ -1,0 +1,58 @@
+"""Fully-connected (dense) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init as init_mod
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Dense"]
+
+
+class Dense(Module):
+    """Affine map ``y = x @ W.T + b`` with weight shape (out, in)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+        weight_init=init_mod.kaiming_uniform,
+    ):
+        super().__init__()
+        self.in_features = check_positive_int(in_features, "in_features")
+        self.out_features = check_positive_int(out_features, "out_features")
+        rng = make_rng(rng)
+        self.weight = Parameter(
+            weight_init((out_features, in_features), rng), "weight"
+        )
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(init_mod.zeros((out_features,)), "bias")
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expects (N, {self.in_features}) input, got {x.shape}"
+            )
+        self._x = x
+        out = x @ self.weight.data.T
+        if self.use_bias:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += grad_output.T @ self._x
+        if self.use_bias:
+            self.bias.grad += grad_output.sum(axis=0)
+        grad_input = grad_output @ self.weight.data
+        self._x = None
+        return grad_input

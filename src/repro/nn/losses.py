@@ -1,0 +1,90 @@
+"""Loss functions.
+
+Each loss exposes ``forward(predictions, targets) -> float`` and
+``backward() -> grad_wrt_predictions``.  Gradients are for the *mean* loss
+over the batch, which is what the paper's per-iteration updates use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+__all__ = ["Loss", "MSELoss", "SoftmaxCrossEntropyLoss"]
+
+
+class Loss:
+    """Base interface for losses."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class MSELoss(Loss):
+    """Mean squared error.
+
+    For classification workloads (the paper's *linear regression* rows),
+    integer class labels are one-hot encoded automatically, matching the
+    common linear-regression-on-one-hot setup.
+    """
+
+    def __init__(self):
+        self._diff: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets)
+        if targets.ndim == 1 and predictions.ndim == 2 and predictions.shape[1] > 1:
+            targets = one_hot(targets, predictions.shape[1])
+        targets = targets.reshape(predictions.shape).astype(np.float64)
+        self._diff = predictions - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        grad = 2.0 * self._diff / self._diff.size
+        self._diff = None
+        return grad
+
+
+class SoftmaxCrossEntropyLoss(Loss):
+    """Softmax + cross-entropy over integer class labels."""
+
+    def __init__(self):
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        labels = np.asarray(targets, dtype=np.int64)
+        if predictions.ndim != 2:
+            raise ValueError(
+                f"expected (N, classes) logits, got shape {predictions.shape}"
+            )
+        if labels.ndim != 1 or labels.shape[0] != predictions.shape[0]:
+            raise ValueError(
+                f"labels shape {labels.shape} does not match logits "
+                f"{predictions.shape}"
+            )
+        log_probs = log_softmax(predictions, axis=1)
+        self._probs = softmax(predictions, axis=1)
+        self._labels = labels
+        picked = log_probs[np.arange(labels.shape[0]), labels]
+        return float(-picked.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        n = self._labels.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._labels] -= 1.0
+        grad /= n
+        self._probs = None
+        self._labels = None
+        return grad

@@ -1,0 +1,22 @@
+"""Model zoo: the five model families of the paper's evaluation."""
+
+from repro.nn.models.cnn import make_cnn
+from repro.nn.models.mlp import make_mlp
+from repro.nn.models.linear import (
+    make_linear_regression,
+    make_logistic_regression,
+)
+from repro.nn.models.resnet import RESNET_LAYOUTS, BasicBlock, make_resnet
+from repro.nn.models.vgg import VGG_CONFIGS, make_vgg
+
+__all__ = [
+    "make_linear_regression",
+    "make_logistic_regression",
+    "make_cnn",
+    "make_mlp",
+    "make_vgg",
+    "make_resnet",
+    "VGG_CONFIGS",
+    "RESNET_LAYOUTS",
+    "BasicBlock",
+]

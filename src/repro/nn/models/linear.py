@@ -1,0 +1,41 @@
+"""Convex models: linear regression and logistic regression.
+
+These are the paper's two convex rows of Table II.  Linear regression uses
+mean-squared error on one-hot targets; logistic regression uses softmax
+cross-entropy — exactly the losses §V-A specifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.linear import Dense
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropyLoss
+from repro.nn.supervised import SupervisedModel
+from repro.utils.rng import make_rng
+
+__all__ = ["make_linear_regression", "make_logistic_regression"]
+
+
+def make_linear_regression(
+    in_features: int,
+    num_classes: int,
+    rng: np.random.Generator | int | None = None,
+) -> SupervisedModel:
+    """One dense layer trained with MSE on one-hot labels."""
+    rng = make_rng(rng)
+    return SupervisedModel(
+        Dense(in_features, num_classes, rng=rng), MSELoss()
+    )
+
+
+def make_logistic_regression(
+    in_features: int,
+    num_classes: int,
+    rng: np.random.Generator | int | None = None,
+) -> SupervisedModel:
+    """One dense layer trained with softmax cross-entropy."""
+    rng = make_rng(rng)
+    return SupervisedModel(
+        Dense(in_features, num_classes, rng=rng), SoftmaxCrossEntropyLoss()
+    )

@@ -1,0 +1,179 @@
+"""Minimal neural-network module system (pure NumPy).
+
+This is the training substrate that stands in for PyTorch in this
+reproduction: a ``Module`` base class with explicit ``forward``/``backward``
+passes, automatic parameter registration, and flat-vector parameter access
+used by the federated-learning layer.
+
+Each module caches whatever it needs during ``forward`` and consumes it in
+the next ``backward`` call, so the intended usage is strictly
+forward-then-backward per batch (exactly what SGD-style training needs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.flatten import flatten_arrays, unflatten_like
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter:
+    """A trainable array together with its gradient accumulator."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses implement ``forward(x)`` and ``backward(grad_output)``;
+    ``backward`` must accumulate into each parameter's ``.grad`` and return
+    the gradient with respect to the module input.
+
+    Assigning a ``Parameter`` or ``Module`` to an attribute registers it,
+    so ``parameters()`` and ``modules()`` walk the tree automatically.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_params", {})
+        object.__setattr__(self, "_children", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value):
+        if isinstance(value, Parameter):
+            self._params[name] = value
+            if not value.name:
+                value.name = name
+        elif isinstance(value, Module):
+            self._children[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Tree traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its children, in stable order."""
+        out = list(self._params.values())
+        for child in self._children.values():
+            out.extend(child.parameters())
+        return out
+
+    def modules(self) -> list["Module"]:
+        """This module and all descendants, depth-first."""
+        out: list[Module] = [self]
+        for child in self._children.values():
+            out.extend(child.modules())
+        return out
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Switch this module and all children to training mode."""
+        for module in self.modules():
+            object.__setattr__(module, "training", True)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module and all children to evaluation mode."""
+        for module in self.modules():
+            object.__setattr__(module, "training", False)
+        return self
+
+    # ------------------------------------------------------------------
+    # Gradient bookkeeping
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient to zero."""
+        for param in self.parameters():
+            param.grad.fill(0.0)
+
+    # ------------------------------------------------------------------
+    # Flat-vector access (used by the FL algorithms)
+    # ------------------------------------------------------------------
+    def num_params(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def get_flat_params(self) -> np.ndarray:
+        """Copy all parameters into one flat float64 vector."""
+        return flatten_arrays([p.data for p in self.parameters()])
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Overwrite all parameters from a flat vector (copies data in)."""
+        pieces = unflatten_like(flat, [p.data for p in self.parameters()])
+        for param, piece in zip(self.parameters(), pieces):
+            np.copyto(param.data, piece)
+
+    def get_flat_grads(self) -> np.ndarray:
+        """Copy all parameter gradients into one flat float64 vector."""
+        return flatten_arrays([p.grad for p in self.parameters()])
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={child.__class__.__name__}"
+            for name, child in self._children.items()
+        )
+        return f"{self.__class__.__name__}({inner})"
+
+
+class Sequential(Module):
+    """Run child modules in order; backward runs them in reverse."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer{index}", layer)
+
+    def append(self, layer: Module) -> None:
+        """Add a layer at the end of the pipeline."""
+        index = len(self.layers)
+        self.layers.append(layer)
+        setattr(self, f"layer{index}", layer)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,121 @@
+"""Batch normalization layers.
+
+Running statistics are buffers, not Parameters: they are excluded from the
+flat parameter vector the FL algorithms aggregate, matching common FL
+practice of averaging only trainable weights.  (An option to synchronize
+buffers explicitly is provided via ``get_buffers``/``set_buffers``.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = ["BatchNorm1d", "BatchNorm2d"]
+
+
+class _BatchNorm(Module):
+    """Shared implementation; subclasses define which axes are reduced."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = check_positive_int(num_features, "num_features")
+        self.momentum = check_probability(momentum, "momentum")
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        self.eps = float(eps)
+
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float64), "gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=np.float64), "beta")
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
+
+        self._cache: tuple | None = None
+
+    # Axes over which statistics are computed, and the broadcast shape.
+    _axes: tuple = ()
+
+    def _shape(self, ndim: int) -> tuple:
+        raise NotImplementedError
+
+    def get_buffers(self) -> dict[str, np.ndarray]:
+        """Copy of the running statistics (not aggregated by FL)."""
+        return {
+            "running_mean": self.running_mean.copy(),
+            "running_var": self.running_var.copy(),
+        }
+
+    def set_buffers(self, buffers: dict[str, np.ndarray]) -> None:
+        """Overwrite the running statistics."""
+        np.copyto(self.running_mean, buffers["running_mean"])
+        np.copyto(self.running_var, buffers["running_var"])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shape = self._shape(x.ndim)
+        if self.training:
+            mean = x.mean(axis=self._axes)
+            var = x.var(axis=self._axes)
+            count = x.size // self.num_features
+            self.running_mean *= 1.0 - self.momentum
+            self.running_mean += self.momentum * mean
+            # Unbiased variance for the running estimate, as in PyTorch.
+            unbiased = var * count / max(count - 1, 1)
+            self.running_var *= 1.0 - self.momentum
+            self.running_var += self.momentum * unbiased
+        else:
+            mean = self.running_mean
+            var = self.running_var
+
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(shape)) * inv_std.reshape(shape)
+        out = self.gamma.data.reshape(shape) * x_hat + self.beta.data.reshape(shape)
+        if self.training:
+            self._cache = (x_hat, inv_std, shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                "backward called before forward (or module in eval mode)"
+            )
+        x_hat, inv_std, shape = self._cache
+        count = grad_output.size // self.num_features
+
+        self.gamma.grad += (grad_output * x_hat).sum(axis=self._axes)
+        self.beta.grad += grad_output.sum(axis=self._axes)
+
+        gamma = self.gamma.data.reshape(shape)
+        grad_xhat = grad_output * gamma
+        sum_grad = grad_xhat.sum(axis=self._axes).reshape(shape)
+        sum_grad_xhat = (grad_xhat * x_hat).sum(axis=self._axes).reshape(shape)
+        grad_input = (
+            inv_std.reshape(shape)
+            / count
+            * (count * grad_xhat - sum_grad - x_hat * sum_grad_xhat)
+        )
+        self._cache = None
+        return grad_input
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch norm over (N, C) inputs."""
+
+    _axes = (0,)
+
+    def _shape(self, ndim: int) -> tuple:
+        if ndim != 2:
+            raise ValueError(f"BatchNorm1d expects 2-D input, got {ndim}-D")
+        return (1, self.num_features)
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch norm over (N, C, H, W) inputs, per channel."""
+
+    _axes = (0, 2, 3)
+
+    def _shape(self, ndim: int) -> tuple:
+        if ndim != 4:
+            raise ValueError(f"BatchNorm2d expects 4-D input, got {ndim}-D")
+        return (1, self.num_features, 1, 1)

@@ -1,0 +1,125 @@
+"""Centralized optimizers over flat parameter vectors.
+
+The FL algorithms implement their own update rules (they are the paper's
+subject), but the library also ships standard centralized optimizers:
+
+* they provide the centralized-training reference point FL papers
+  compare against (and our examples use),
+* Polyak/NAG here double as an independent cross-check of the worker
+  update inside HierAdMo (tested equal trajectory),
+* Adam exists because downstream users of the substrate expect it.
+
+All optimizers mutate a caller-owned flat vector via ``step(params,
+grad) -> params`` so they compose with :class:`~repro.core.Federation`'s
+gradient oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["Optimizer", "SGD", "PolyakMomentum", "NAG", "Adam"]
+
+
+class Optimizer:
+    """Base interface: stateful gradient-step rules."""
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state (momentum buffers etc.)."""
+
+
+class SGD(Optimizer):
+    """Plain gradient descent: ``params - lr * grad``."""
+
+    def __init__(self, lr: float = 0.01):
+        self.lr = check_positive(lr, "lr")
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        return params - self.lr * grad
+
+
+class PolyakMomentum(Optimizer):
+    """Heavy-ball momentum (paper eqs. 1–2).
+
+        m ← γ·m − lr·grad ;  params ← params + m
+    """
+
+    def __init__(self, lr: float = 0.01, gamma: float = 0.9):
+        self.lr = check_positive(lr, "lr")
+        self.gamma = check_fraction(gamma, "gamma")
+        self._m: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if self._m is None:
+            self._m = np.zeros_like(params)
+        self._m = self.gamma * self._m - self.lr * grad
+        return params + self._m
+
+    def reset(self) -> None:
+        self._m = None
+
+
+class NAG(Optimizer):
+    """Nesterov accelerated gradient in the paper's (y, x) form.
+
+    This is exactly HierAdMo's worker update (Algorithm 1 lines 5–6)
+    run centrally:
+
+        y_new ← x − lr·grad(x) ;  x ← y_new + γ(y_new − y_prev)
+    """
+
+    def __init__(self, lr: float = 0.01, gamma: float = 0.9):
+        self.lr = check_positive(lr, "lr")
+        self.gamma = check_fraction(gamma, "gamma")
+        self._y: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            self._y = params.copy()
+        y_new = params - self.lr * grad
+        out = y_new + self.gamma * (y_new - self._y)
+        self._y = y_new
+        return out
+
+    def reset(self) -> None:
+        self._y = None
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        self.lr = check_positive(lr, "lr")
+        self.beta1 = check_fraction(beta1, "beta1")
+        self.beta2 = check_fraction(beta2, "beta2")
+        self.eps = check_positive(eps, "eps")
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._t = 0
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if self._m is None:
+            self._m = np.zeros_like(params)
+            self._v = np.zeros_like(params)
+        self._t += 1
+        self._m = self.beta1 * self._m + (1 - self.beta1) * grad
+        self._v = self.beta2 * self._v + (1 - self.beta2) * grad**2
+        m_hat = self._m / (1 - self.beta1**self._t)
+        v_hat = self._v / (1 - self.beta2**self._t)
+        return params - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._t = 0

@@ -1,0 +1,67 @@
+"""Save/load model weights.
+
+Stores the flat parameter vector plus a shape manifest in ``.npz`` so a
+checkpoint can be loaded into a freshly-constructed model of the same
+architecture (and loudly rejects one that doesn't match).  BatchNorm
+running statistics are stored alongside when present.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.norm import _BatchNorm
+
+__all__ = ["save_weights", "load_weights"]
+
+
+def _norm_layers(module: Module) -> list[_BatchNorm]:
+    return [m for m in module.modules() if isinstance(m, _BatchNorm)]
+
+
+def save_weights(module: Module, path: str | Path) -> None:
+    """Write parameters (+ batch-norm buffers) to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {
+        "flat_params": module.get_flat_params(),
+        "shapes": np.array(
+            [",".join(map(str, p.shape)) for p in module.parameters()],
+            dtype=np.str_,
+        ),
+    }
+    for index, layer in enumerate(_norm_layers(module)):
+        buffers = layer.get_buffers()
+        arrays[f"bn{index}_mean"] = buffers["running_mean"]
+        arrays[f"bn{index}_var"] = buffers["running_var"]
+    np.savez(Path(path), **arrays)
+
+
+def load_weights(module: Module, path: str | Path) -> None:
+    """Load a checkpoint written by :func:`save_weights` into ``module``.
+
+    Raises ``ValueError`` when the architecture (parameter shapes) does
+    not match the checkpoint.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        expected = [
+            ",".join(map(str, p.shape)) for p in module.parameters()
+        ]
+        stored = list(data["shapes"])
+        if expected != stored:
+            raise ValueError(
+                f"architecture mismatch: checkpoint has {len(stored)} "
+                f"parameters {stored[:3]}..., model has {len(expected)} "
+                f"{expected[:3]}..."
+            )
+        module.set_flat_params(data["flat_params"])
+        for index, layer in enumerate(_norm_layers(module)):
+            mean_key, var_key = f"bn{index}_mean", f"bn{index}_var"
+            if mean_key in data:
+                layer.set_buffers(
+                    {
+                        "running_mean": data[mean_key],
+                        "running_var": data[var_key],
+                    }
+                )

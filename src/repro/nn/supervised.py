@@ -1,0 +1,109 @@
+"""Model + loss bundle: the gradient oracle the FL algorithms consume.
+
+A :class:`SupervisedModel` pairs a :class:`~repro.nn.module.Module` with a
+loss and exposes exactly the operations federated learning needs:
+
+* ``gradient(x, y)`` — flat gradient of the mean batch loss at the current
+  parameters (this is the paper's ``∇F_{i,ℓ}(x)``),
+* ``loss(x, y)`` / ``accuracy(x, y)`` — evaluation,
+* flat get/set of the parameter vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import Loss, SoftmaxCrossEntropyLoss
+from repro.nn.module import Module
+
+__all__ = ["SupervisedModel"]
+
+
+class SupervisedModel:
+    """A trainable model with a loss attached.
+
+    ``weight_decay`` adds L2 regularization at the gradient level
+    (``grad += weight_decay * params``), matching the common
+    decoupled-from-loss implementation; it does not change the reported
+    loss value.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        loss: Loss | None = None,
+        *,
+        weight_decay: float = 0.0,
+    ):
+        self.module = module
+        self.loss_fn = loss if loss is not None else SoftmaxCrossEntropyLoss()
+        if weight_decay < 0:
+            raise ValueError(
+                f"weight_decay must be >= 0, got {weight_decay}"
+            )
+        self.weight_decay = float(weight_decay)
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    @property
+    def num_params(self) -> int:
+        return self.module.num_params()
+
+    def get_flat_params(self) -> np.ndarray:
+        return self.module.get_flat_params()
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        self.module.set_flat_params(flat)
+
+    # ------------------------------------------------------------------
+    # Training-side compute
+    # ------------------------------------------------------------------
+    def gradient(
+        self, x: np.ndarray, y: np.ndarray, params: np.ndarray | None = None
+    ) -> tuple[np.ndarray, float]:
+        """Return ``(flat_grad, loss_value)`` of the mean loss on a batch.
+
+        If ``params`` is given, the gradient is evaluated at those
+        parameters (the module's parameters are left set to ``params``
+        afterwards — FL algorithms always set parameters explicitly before
+        the next use, so no restore pass is wasted).
+        """
+        if params is not None:
+            self.set_flat_params(params)
+        self.module.train()
+        self.module.zero_grad()
+        predictions = self.module.forward(x)
+        loss_value = self.loss_fn.forward(predictions, y)
+        self.module.backward(self.loss_fn.backward())
+        grad = self.module.get_flat_grads()
+        if self.weight_decay > 0.0:
+            grad += self.weight_decay * self.module.get_flat_params()
+        return grad, loss_value
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Forward pass in eval mode, batched to bound memory."""
+        self.module.eval()
+        outputs = [
+            self.module.forward(x[i : i + batch_size])
+            for i in range(0, x.shape[0], batch_size)
+        ]
+        self.module.train()
+        return np.concatenate(outputs, axis=0)
+
+    def loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss on ``(x, y)`` in eval mode."""
+        predictions = self.predict(x)
+        return self.loss_fn.forward(predictions, y)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Top-1 accuracy (argmax over the output dimension)."""
+        predictions = self.predict(x)
+        if predictions.ndim != 2:
+            raise ValueError(
+                f"accuracy needs (N, classes) outputs, got {predictions.shape}"
+            )
+        return float(np.mean(predictions.argmax(axis=1) == np.asarray(y)))

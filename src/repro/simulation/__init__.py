@@ -1,0 +1,47 @@
+"""Trace-driven delay simulation (devices, links, timelines)."""
+
+from repro.simulation.devices import (
+    DEVICE_PRESETS,
+    DeviceProfile,
+    worker_device_pool,
+)
+from repro.simulation.events import (
+    CloudRoundRecord,
+    EdgeRoundRecord,
+    EventDrivenSimulator,
+    EventSimulation,
+)
+from repro.simulation.energy import (
+    CampaignEnergy,
+    EnergyModel,
+    estimate_three_tier_energy,
+    estimate_two_tier_energy,
+)
+from repro.simulation.links import LINK_PRESETS, LinkProfile
+from repro.simulation.stragglers import StragglerDevice, add_stragglers
+from repro.simulation.timeline import (
+    ThreeTierTimeline,
+    TwoTierTimeline,
+    time_to_accuracy,
+)
+
+__all__ = [
+    "DeviceProfile",
+    "DEVICE_PRESETS",
+    "worker_device_pool",
+    "LinkProfile",
+    "LINK_PRESETS",
+    "StragglerDevice",
+    "add_stragglers",
+    "EventDrivenSimulator",
+    "EventSimulation",
+    "EdgeRoundRecord",
+    "CloudRoundRecord",
+    "EnergyModel",
+    "CampaignEnergy",
+    "estimate_three_tier_energy",
+    "estimate_two_tier_energy",
+    "ThreeTierTimeline",
+    "TwoTierTimeline",
+    "time_to_accuracy",
+]

@@ -1,0 +1,225 @@
+"""Discrete-event simulation of hierarchical FL deployments.
+
+The replay timelines in :mod:`repro.simulation.timeline` advance a single
+global clock per iteration (max over workers), which slightly
+over-synchronizes: real workers only meet at aggregation barriers, so a
+fast worker can be several iterations ahead within an edge interval.
+This module simulates the deployment at event granularity:
+
+* each worker is an independent process computing its τ local
+  iterations (per-iteration delays sampled from its device profile),
+  then uploading to its edge node;
+* an edge node aggregates when its quorum is met — all workers for the
+  paper's synchronous setting (``quorum=1.0``), or a fraction for
+  asynchronous-flavoured deployments — then downloads the result back;
+* every π edge rounds the edges synchronize with the cloud over the WAN.
+
+Outputs per-round completion times plus per-worker iteration counts, so
+time-to-accuracy studies can also quantify how much a straggler quorum
+buys.  Statistics match the barrier structure of Algorithm 1 exactly
+when ``quorum=1.0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulation.devices import DeviceProfile
+from repro.simulation.links import LINK_PRESETS, LinkProfile
+from repro.simulation.devices import DEVICE_PRESETS
+from repro.topology import Topology
+from repro.utils.rng import make_rng
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = ["EdgeRoundRecord", "CloudRoundRecord", "EventSimulation",
+           "EventDrivenSimulator"]
+
+
+@dataclass(frozen=True)
+class EdgeRoundRecord:
+    """One edge aggregation event."""
+
+    edge: int
+    round_index: int
+    start_time: float
+    finish_time: float
+    workers_included: tuple[int, ...]
+    workers_late: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CloudRoundRecord:
+    """One cloud aggregation event."""
+
+    round_index: int
+    start_time: float
+    finish_time: float
+
+
+@dataclass
+class EventSimulation:
+    """Full output of one simulated deployment."""
+
+    edge_rounds: list[EdgeRoundRecord] = field(default_factory=list)
+    cloud_rounds: list[CloudRoundRecord] = field(default_factory=list)
+    # iteration_times[t] = time when every worker finished local
+    # iteration t (1-indexed entry t-1); the sync-equivalent curve.
+    iteration_times: np.ndarray | None = None
+
+    @property
+    def total_time(self) -> float:
+        """Finish time of the last aggregation event."""
+        last_edge = self.edge_rounds[-1].finish_time if self.edge_rounds else 0.0
+        last_cloud = (
+            self.cloud_rounds[-1].finish_time if self.cloud_rounds else 0.0
+        )
+        return max(last_edge, last_cloud)
+
+    def time_at_iteration(self, t: int) -> float:
+        """Global time when iteration ``t`` was complete everywhere."""
+        if self.iteration_times is None:
+            raise ValueError("simulation did not record iteration times")
+        if not 0 <= t < self.iteration_times.size:
+            raise ValueError(
+                f"iteration {t} outside [0, {self.iteration_times.size})"
+            )
+        return float(self.iteration_times[t])
+
+
+class EventDrivenSimulator:
+    """Simulate a three-tier deployment at event granularity."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        worker_devices: list[DeviceProfile],
+        payload_bytes: float,
+        *,
+        edge_device: DeviceProfile | None = None,
+        cloud_device: DeviceProfile | None = None,
+        lan: LinkProfile | None = None,
+        wan: LinkProfile | None = None,
+        quorum: float = 1.0,
+    ):
+        if len(worker_devices) != topology.num_workers:
+            raise ValueError(
+                f"{len(worker_devices)} devices for "
+                f"{topology.num_workers} workers"
+            )
+        self.topology = topology
+        self.worker_devices = worker_devices
+        self.payload_bytes = check_positive(payload_bytes, "payload_bytes")
+        self.edge_device = edge_device or DEVICE_PRESETS["macbook_pro_i7"]
+        self.cloud_device = cloud_device or DEVICE_PRESETS["gpu_tower_2080ti"]
+        self.lan = lan or LINK_PRESETS["wifi_5ghz"]
+        self.wan = wan or LINK_PRESETS["wan_internet"]
+        self.quorum = check_in_range(quorum, "quorum", 0.0, 1.0,
+                                     inclusive=True)
+        if self.quorum <= 0.0:
+            raise ValueError("quorum must be > 0 (someone must upload)")
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        total_iterations: int,
+        tau: int,
+        pi: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> EventSimulation:
+        """Run the deployment for ``total_iterations`` local iterations."""
+        check_positive_int(total_iterations, "total_iterations")
+        check_positive_int(tau, "tau")
+        check_positive_int(pi, "pi")
+        rng = make_rng(rng)
+        topo = self.topology
+        result = EventSimulation()
+
+        # Per-worker clock and completed-iteration times.
+        worker_clock = np.zeros(topo.num_workers)
+        iteration_done = np.zeros((topo.num_workers, total_iterations))
+        # Edge clocks advance at aggregation events.
+        edge_round = 0
+        completed = 0
+
+        while completed < total_iterations:
+            interval = min(tau, total_iterations - completed)
+            # Phase 1: independent local compute within the interval.
+            for worker in range(topo.num_workers):
+                delays = self.worker_devices[worker].sample_iterations(
+                    interval, rng
+                )
+                for step, delay in enumerate(delays):
+                    worker_clock[worker] += delay
+                    iteration_done[worker, completed + step] = worker_clock[
+                        worker
+                    ]
+            completed += interval
+
+            # Phase 2: per-edge aggregation with quorum semantics.
+            edge_round += 1
+            edge_finish = np.zeros(topo.num_edges)
+            for edge in range(topo.num_edges):
+                indices = topo.edge_worker_indices(edge)
+                arrivals = {
+                    index: worker_clock[index]
+                    + self.lan.transfer_time(self.payload_bytes, rng)
+                    for index in indices
+                }
+                needed = max(1, int(np.ceil(self.quorum * len(indices))))
+                ordered = sorted(arrivals, key=arrivals.get)
+                included = tuple(ordered[:needed])
+                late = tuple(ordered[needed:])
+                start = max(arrivals[index] for index in included)
+                finish = start + self.edge_device.sample_aggregation(rng)
+                # Download: every worker (even late ones) resumes after
+                # receiving the new model.
+                download_done = {
+                    index: max(finish, arrivals[index])
+                    + self.lan.transfer_time(self.payload_bytes, rng)
+                    for index in indices
+                }
+                for index in indices:
+                    worker_clock[index] = download_done[index]
+                edge_finish[edge] = finish
+                result.edge_rounds.append(
+                    EdgeRoundRecord(
+                        edge=edge,
+                        round_index=edge_round,
+                        start_time=float(start),
+                        finish_time=float(finish),
+                        workers_included=included,
+                        workers_late=late,
+                    )
+                )
+
+            # Phase 3: cloud synchronization every pi edge rounds.
+            if edge_round % pi == 0:
+                uploads = [
+                    edge_finish[edge]
+                    + self.wan.transfer_time(self.payload_bytes, rng)
+                    for edge in range(topo.num_edges)
+                ]
+                start = max(uploads)
+                finish = start + self.cloud_device.sample_aggregation(rng)
+                result.cloud_rounds.append(
+                    CloudRoundRecord(
+                        round_index=edge_round // pi,
+                        start_time=float(start),
+                        finish_time=float(finish),
+                    )
+                )
+                for worker in range(topo.num_workers):
+                    worker_clock[worker] = max(
+                        worker_clock[worker],
+                        finish
+                        + self.wan.transfer_time(self.payload_bytes, rng),
+                    )
+
+        result.iteration_times = iteration_done.max(axis=0)
+        return result

@@ -1,0 +1,229 @@
+"""Trace-driven wall-clock timelines (paper §V-D, Fig. 2 h/l).
+
+The paper trains once on a GPU server, keeps the iteration trace, samples
+real device/link delays, and replays the trace against those delays to
+compute what the wall-clock time *would have been* on the physical
+three-tier (or two-tier) deployment.  These functions do exactly that
+replay against the synthetic delay profiles:
+
+* within an edge interval, workers compute in parallel, so each
+  iteration's duration is the max over the participating workers'
+  sampled per-iteration delays;
+* an edge aggregation adds worker→edge upload (max over workers), the
+  edge's aggregation compute, and edge→worker download (max);
+* a cloud aggregation adds edge→cloud WAN upload (max over edges), cloud
+  compute and WAN download — two-tier algorithms instead pay the WAN on
+  *every* aggregation because workers talk to the cloud directly.
+
+Momentum-carrying algorithms ship both model and momentum state, which
+``payload_multiplier`` captures (2.0 for FedNAG/HierAdMo-style traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.history import TrainingHistory
+from repro.simulation.devices import DEVICE_PRESETS, DeviceProfile
+from repro.simulation.links import LINK_PRESETS, LinkProfile
+from repro.topology import Topology
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "ThreeTierTimeline",
+    "TwoTierTimeline",
+    "time_to_accuracy",
+]
+
+
+@dataclass
+class ThreeTierTimeline:
+    """Delay replay for a client–edge–cloud deployment."""
+
+    topology: Topology
+    worker_devices: list[DeviceProfile]
+    payload_bytes: float
+    edge_device: DeviceProfile = field(
+        default_factory=lambda: DEVICE_PRESETS["macbook_pro_i7"]
+    )
+    cloud_device: DeviceProfile = field(
+        default_factory=lambda: DEVICE_PRESETS["gpu_tower_2080ti"]
+    )
+    lan: LinkProfile = field(
+        default_factory=lambda: LINK_PRESETS["wifi_5ghz"]
+    )
+    wan: LinkProfile = field(
+        default_factory=lambda: LINK_PRESETS["wan_internet"]
+    )
+    payload_multiplier: float = 1.0
+
+    def __post_init__(self):
+        if len(self.worker_devices) != self.topology.num_workers:
+            raise ValueError(
+                f"{len(self.worker_devices)} device profiles for "
+                f"{self.topology.num_workers} workers"
+            )
+        check_positive(self.payload_bytes, "payload_bytes")
+        check_positive(self.payload_multiplier, "payload_multiplier")
+
+    def simulate(
+        self,
+        total_iterations: int,
+        tau: int,
+        pi: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Cumulative wall-clock time after each local iteration.
+
+        Returns an array of length ``total_iterations + 1`` whose entry
+        ``t`` is the elapsed time when local iteration ``t`` has finished
+        everywhere (including any aggregation scheduled at ``t``).
+        """
+        check_positive_int(total_iterations, "total_iterations")
+        check_positive_int(tau, "tau")
+        check_positive_int(pi, "pi")
+        rng = make_rng(rng)
+        payload = self.payload_bytes * self.payload_multiplier
+
+        compute = np.stack(
+            [
+                device.sample_iterations(total_iterations, rng)
+                for device in self.worker_devices
+            ]
+        )  # (workers, T)
+
+        times = np.empty(total_iterations + 1)
+        times[0] = 0.0
+        clock = 0.0
+        for t in range(1, total_iterations + 1):
+            # Parallel workers: the slowest defines the iteration.
+            clock += float(compute[:, t - 1].max())
+            if t % tau == 0:
+                clock += self._edge_round(payload, rng)
+            if t % (tau * pi) == 0:
+                clock += self._cloud_round(payload, rng)
+            times[t] = clock
+        return times
+
+    def _edge_round(self, payload: float, rng: np.random.Generator) -> float:
+        """Worker→edge sync: edges run in parallel, take the slowest."""
+        slowest = 0.0
+        for edge in range(self.topology.num_edges):
+            workers = self.topology.workers_in_edge(edge)
+            upload = max(
+                self.lan.transfer_time(payload, rng) for _ in range(workers)
+            )
+            download = max(
+                self.lan.transfer_time(payload, rng) for _ in range(workers)
+            )
+            aggregate = self.edge_device.sample_aggregation(rng)
+            slowest = max(slowest, upload + aggregate + download)
+        return slowest
+
+    def _cloud_round(self, payload: float, rng: np.random.Generator) -> float:
+        """Edge→cloud sync over the WAN."""
+        upload = max(
+            self.wan.transfer_time(payload, rng)
+            for _ in range(self.topology.num_edges)
+        )
+        download = max(
+            self.wan.transfer_time(payload, rng)
+            for _ in range(self.topology.num_edges)
+        )
+        return upload + self.cloud_device.sample_aggregation(rng) + download
+
+
+@dataclass
+class TwoTierTimeline:
+    """Delay replay for a flat worker–cloud deployment.
+
+    Every aggregation crosses the public Internet because each worker
+    talks to the cloud directly (the paper's Fig. 1 left).
+    """
+
+    num_workers: int
+    worker_devices: list[DeviceProfile]
+    payload_bytes: float
+    cloud_device: DeviceProfile = field(
+        default_factory=lambda: DEVICE_PRESETS["gpu_tower_2080ti"]
+    )
+    wan: LinkProfile = field(
+        default_factory=lambda: LINK_PRESETS["wan_internet"]
+    )
+    payload_multiplier: float = 1.0
+
+    def __post_init__(self):
+        check_positive_int(self.num_workers, "num_workers")
+        if len(self.worker_devices) != self.num_workers:
+            raise ValueError(
+                f"{len(self.worker_devices)} device profiles for "
+                f"{self.num_workers} workers"
+            )
+        check_positive(self.payload_bytes, "payload_bytes")
+        check_positive(self.payload_multiplier, "payload_multiplier")
+
+    def simulate(
+        self,
+        total_iterations: int,
+        tau: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Cumulative wall-clock time after each local iteration."""
+        check_positive_int(total_iterations, "total_iterations")
+        check_positive_int(tau, "tau")
+        rng = make_rng(rng)
+        payload = self.payload_bytes * self.payload_multiplier
+
+        compute = np.stack(
+            [
+                device.sample_iterations(total_iterations, rng)
+                for device in self.worker_devices
+            ]
+        )
+
+        times = np.empty(total_iterations + 1)
+        times[0] = 0.0
+        clock = 0.0
+        for t in range(1, total_iterations + 1):
+            clock += float(compute[:, t - 1].max())
+            if t % tau == 0:
+                upload = max(
+                    self.wan.transfer_time(payload, rng)
+                    for _ in range(self.num_workers)
+                )
+                download = max(
+                    self.wan.transfer_time(payload, rng)
+                    for _ in range(self.num_workers)
+                )
+                clock += (
+                    upload
+                    + self.cloud_device.sample_aggregation(rng)
+                    + download
+                )
+            times[t] = clock
+        return times
+
+
+def time_to_accuracy(
+    history: TrainingHistory,
+    times: np.ndarray,
+    target: float,
+) -> float | None:
+    """Wall-clock seconds at which the run first reached ``target``.
+
+    ``times`` must be the cumulative-time array whose index is the local
+    iteration (as produced by the timelines above).  Returns ``None`` if
+    the accuracy never reached the target.
+    """
+    iteration = history.iterations_to_accuracy(target)
+    if iteration is None:
+        return None
+    if iteration >= times.size:
+        raise ValueError(
+            f"history evaluates iteration {iteration} but the timeline "
+            f"covers only {times.size - 1} iterations"
+        )
+    return float(times[iteration])

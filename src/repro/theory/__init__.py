@@ -1,0 +1,50 @@
+"""Convergence-analysis machinery (paper §IV and appendices)."""
+
+from repro.theory.adaptation import (
+    adaptive_gamma_moments,
+    fixed_gamma_moments,
+    moments_for_distribution,
+    theorem5_gap_ratio,
+)
+from repro.theory.bounds import (
+    ConvergenceBound,
+    alpha_constant,
+    theorem4_bound,
+)
+from repro.theory.constants import MomentumConstants
+from repro.theory.estimation import (
+    estimate_gradient_diversity,
+    estimate_lipschitz,
+    estimate_mu,
+    estimate_smoothness,
+)
+from repro.theory.gaps import h_gap, j_gap, s_gap
+from repro.theory.descent import DescentTrace, descent_trace
+from repro.theory.virtual import (
+    VirtualGapTrace,
+    cloud_virtual_gap_trace,
+    edge_virtual_gap_trace,
+)
+
+__all__ = [
+    "MomentumConstants",
+    "h_gap",
+    "s_gap",
+    "j_gap",
+    "alpha_constant",
+    "theorem4_bound",
+    "ConvergenceBound",
+    "adaptive_gamma_moments",
+    "fixed_gamma_moments",
+    "moments_for_distribution",
+    "theorem5_gap_ratio",
+    "estimate_smoothness",
+    "estimate_lipschitz",
+    "estimate_gradient_diversity",
+    "estimate_mu",
+    "VirtualGapTrace",
+    "edge_virtual_gap_trace",
+    "cloud_virtual_gap_trace",
+    "DescentTrace",
+    "descent_trace",
+]

@@ -1,0 +1,124 @@
+"""Theorem 4: the O(1/T) convergence upper bound.
+
+Given the problem constants (ρ, β, δ's), the algorithm hyper-parameters
+(η, γ, γℓ, τ, π) and the trajectory constants (μ, ω, σ, ε), Theorem 4
+bounds the final optimality gap:
+
+    F(x_T) − F(x*) ≤ 1 / [ T · (ωασ² − ρ·j(τ,π,δℓ,δ)/(τπε²)) ]
+
+with α defined in eq. (37).  ``theorem4_bound`` evaluates the right-hand
+side and raises if the theorem's conditions fail (condition 2.1 and the
+step-size condition βη(γ+1) ≤ 1), exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.theory.constants import MomentumConstants
+from repro.theory.gaps import j_gap
+from repro.utils.validation import check_positive
+
+__all__ = ["alpha_constant", "theorem4_bound", "ConvergenceBound"]
+
+
+def alpha_constant(
+    eta: float, beta: float, gamma: float, mu: float
+) -> float:
+    """Eq. (37):
+
+        α = η(γ+1)·(1 − βη(γ+1)/2) − βη²γ²μ²/2 − ηγμ(1 − βη(γ+1))
+    """
+    step = beta * eta * (gamma + 1.0)
+    return (
+        eta * (gamma + 1.0) * (1.0 - step / 2.0)
+        - beta * eta**2 * gamma**2 * mu**2 / 2.0
+        - eta * gamma * mu * (1.0 - step)
+    )
+
+
+@dataclass(frozen=True)
+class ConvergenceBound:
+    """Evaluated Theorem-4 bound and its ingredients."""
+
+    bound: float
+    alpha: float
+    j_value: float
+    denominator_rate: float  # ωασ² − ρj/(τπε²), must be > 0
+    total_iterations: int
+
+
+def theorem4_bound(
+    *,
+    total_iterations: int,
+    tau: int,
+    pi: int,
+    eta: float,
+    beta: float,
+    gamma: float,
+    gamma_edge: float,
+    rho: float,
+    mu: float,
+    delta_edges: np.ndarray,
+    delta_global: float,
+    edge_weights: np.ndarray,
+    omega: float,
+    sigma: float,
+    epsilon: float,
+) -> ConvergenceBound:
+    """Evaluate eq. (22); raises ``ValueError`` when a condition fails.
+
+    Conditions enforced (Theorem 4):
+      (1) 0 < βη(γ+1) ≤ 1, 0 < γ < 1, 0 < γℓ considered in [0, 1);
+      (2.1) ωασ² − ρ·j/(τπε²) > 0.
+    """
+    check_positive(total_iterations, "total_iterations")
+    check_positive(epsilon, "epsilon")
+    check_positive(omega, "omega")
+    check_positive(sigma, "sigma")
+    if total_iterations % (tau * pi) != 0:
+        raise ValueError(
+            f"T={total_iterations} must be a multiple of tau*pi={tau * pi}"
+        )
+    step = beta * eta * (gamma + 1.0)
+    if not 0.0 < step <= 1.0:
+        raise ValueError(
+            f"condition (1) fails: beta*eta*(gamma+1) = {step:.4g} not in (0, 1]"
+        )
+
+    constants = MomentumConstants.from_hyperparameters(eta, beta, gamma)
+    j_value = j_gap(
+        tau,
+        pi,
+        delta_edges,
+        delta_global,
+        edge_weights,
+        constants,
+        gamma_edge=gamma_edge,
+        rho=rho,
+        mu=mu,
+    )
+    alpha = alpha_constant(eta, beta, gamma, mu)
+    if alpha <= 0:
+        raise ValueError(
+            f"alpha = {alpha:.4g} <= 0: momentum overshoot term dominates "
+            "(reduce mu, gamma or eta)"
+        )
+    denominator_rate = omega * alpha * sigma**2 - rho * j_value / (
+        tau * pi * epsilon**2
+    )
+    if denominator_rate <= 0:
+        raise ValueError(
+            f"condition (2.1) fails: omega*alpha*sigma^2 - rho*j/(tau*pi*eps^2)"
+            f" = {denominator_rate:.4g} <= 0 (tau/pi too large for epsilon)"
+        )
+    bound = 1.0 / (total_iterations * denominator_rate)
+    return ConvergenceBound(
+        bound=bound,
+        alpha=alpha,
+        j_value=j_value,
+        denominator_rate=denominator_rate,
+        total_iterations=total_iterations,
+    )

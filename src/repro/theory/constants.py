@@ -1,0 +1,79 @@
+"""Appendix-A constants of the convergence analysis.
+
+``A`` and ``B`` are the roots of the characteristic polynomial
+
+    γ·z² − (1+ηβ)(1+γ)·z + (1+ηβ) = 0
+
+that governs the growth of the worker-to-virtual-update gap under NAG
+(inherited from FedNAG [21]).  ``I, J, U, V`` are the combination
+coefficients; the identities ``I + J = 1`` and ``U + V = 1`` (used by the
+paper's check ``h(0, δ) = 0``) are verified in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["MomentumConstants"]
+
+
+@dataclass(frozen=True)
+class MomentumConstants:
+    """Closed-form constants for a given (η, β, γ) configuration."""
+
+    eta: float
+    beta: float
+    gamma: float
+    A: float
+    B: float
+    I: float
+    J: float
+    U: float
+    V: float
+
+    @classmethod
+    def from_hyperparameters(
+        cls, eta: float, beta: float, gamma: float
+    ) -> "MomentumConstants":
+        """Compute the constants; requires 0 < γ < 1 and η, β > 0.
+
+        The paper's Theorem 4 additionally requires ``βη(γ+1) ≤ 1``; that
+        is checked by :mod:`repro.theory.bounds`, not here, because the
+        constants themselves are well-defined whenever the discriminant
+        is non-negative.
+        """
+        eta = check_positive(eta, "eta")
+        beta = check_positive(beta, "beta")
+        gamma = check_fraction(gamma, "gamma")
+        if gamma == 0.0:
+            raise ValueError("constants require 0 < gamma < 1")
+
+        base = 1.0 + eta * beta
+        discriminant = base**2 * (1.0 + gamma) ** 2 - 4.0 * gamma * base
+        if discriminant < 0:
+            raise ValueError(
+                f"negative discriminant ({discriminant:.3g}) for "
+                f"eta={eta}, beta={beta}, gamma={gamma}"
+            )
+        root = math.sqrt(discriminant)
+        a = (base * (1.0 + gamma) + root) / (2.0 * gamma)
+        b = (base * (1.0 + gamma) - root) / (2.0 * gamma)
+
+        i_coef = (gamma * a + a - 1.0) / ((a - b) * (gamma * a - 1.0))
+        j_coef = (gamma * b + b - 1.0) / ((a - b) * (1.0 - gamma * b))
+        u_coef = (a - 1.0) / (a - b)
+        v_coef = (1.0 - b) / (a - b)
+        return cls(eta, beta, gamma, a, b, i_coef, j_coef, u_coef, v_coef)
+
+    @property
+    def gamma_a(self) -> float:
+        """γA — the dominant growth rate (slightly above 1)."""
+        return self.gamma * self.A
+
+    @property
+    def gamma_b(self) -> float:
+        """γB — the decaying rate (below 1)."""
+        return self.gamma * self.B

@@ -1,0 +1,176 @@
+"""Empirical estimators for the analysis constants.
+
+The convergence bound needs problem constants the paper assumes given:
+ρ (Lipschitz), β (smoothness), δ_{i,ℓ} (gradient diversity) and the
+trajectory constant μ (eq. 30).  These estimators measure them on a
+concrete federation so the theory-vs-practice experiments can evaluate
+Theorem 4 with data-driven constants instead of guesses.
+
+All estimators are sampling-based upper-bound estimates: they probe
+random parameter points around the initial model and take maxima, which
+is the right direction for constants that appear in upper bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.federation import Federation
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+__all__ = [
+    "estimate_smoothness",
+    "estimate_lipschitz",
+    "estimate_gradient_diversity",
+    "estimate_mu",
+]
+
+
+def _probe_points(
+    federation: Federation,
+    num_points: int,
+    radius: float,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Random parameter points in a ball around the initial model."""
+    center = federation.initial_params()
+    points = [center]
+    for _ in range(num_points - 1):
+        direction = rng.normal(size=center.size)
+        direction *= radius * rng.random() / np.linalg.norm(direction)
+        points.append(center + direction)
+    return points
+
+
+def _full_gradient(
+    federation: Federation, worker: int, params: np.ndarray
+) -> np.ndarray:
+    """Exact gradient of worker's full local dataset at ``params``."""
+    dataset = federation.worker_datasets[worker]
+    grad, _ = federation.model.gradient(dataset.x, dataset.y, params)
+    return grad
+
+
+def estimate_smoothness(
+    federation: Federation,
+    *,
+    num_points: int = 8,
+    radius: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+    points: list[np.ndarray] | None = None,
+) -> float:
+    """β̂ = max over probes of ‖∇F(x₁) − ∇F(x₂)‖ / ‖x₁ − x₂‖.
+
+    Pass ``points`` explicitly (e.g. parameters visited by an actual
+    trajectory) to estimate the constants where they matter; otherwise
+    random probes around the initial model are used.
+    """
+    check_positive_int(num_points, "num_points")
+    check_positive(radius, "radius")
+    rng = make_rng(rng)
+    if points is None:
+        points = _probe_points(federation, num_points, radius, rng)
+    best = 0.0
+    for worker in range(federation.num_workers):
+        grads = [_full_gradient(federation, worker, p) for p in points]
+        for i in range(len(points)):
+            for j in range(i + 1, len(points)):
+                gap = np.linalg.norm(points[i] - points[j])
+                if gap < 1e-9:
+                    continue
+                ratio = np.linalg.norm(grads[i] - grads[j]) / gap
+                best = max(best, float(ratio))
+    return best
+
+
+def estimate_lipschitz(
+    federation: Federation,
+    *,
+    num_points: int = 8,
+    radius: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """ρ̂ = max over probes of ‖∇F_{i,ℓ}(x)‖ (gradient-norm bound)."""
+    check_positive_int(num_points, "num_points")
+    check_positive(radius, "radius")
+    rng = make_rng(rng)
+    points = _probe_points(federation, num_points, radius, rng)
+    best = 0.0
+    for worker in range(federation.num_workers):
+        for point in points:
+            grad = _full_gradient(federation, worker, point)
+            best = max(best, float(np.linalg.norm(grad)))
+    return best
+
+
+def estimate_gradient_diversity(
+    federation: Federation,
+    *,
+    num_points: int = 4,
+    radius: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+    points: list[np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Estimate (δ_{i,ℓ} per worker, δℓ per edge, δ global).
+
+    δ_{i,ℓ} = max over probes of ‖∇F_{i,ℓ}(x) − ∇Fℓ(x)‖ (Assumption 3);
+    δℓ and δ are the paper's data-weighted averages.  ``points``
+    overrides the random probes (see :func:`estimate_smoothness`).
+    """
+    check_positive_int(num_points, "num_points")
+    rng = make_rng(rng)
+    if points is None:
+        points = _probe_points(federation, num_points, radius, rng)
+    topology = federation.topology
+
+    delta_workers = np.zeros(federation.num_workers)
+    for point in points:
+        worker_grads = [
+            _full_gradient(federation, worker, point)
+            for worker in range(federation.num_workers)
+        ]
+        for edge in range(federation.num_edges):
+            indices = topology.edge_worker_indices(edge)
+            weights = federation.worker_w_in_edge[edge]
+            edge_grad = np.zeros(federation.dim)
+            for weight, index in zip(weights, indices):
+                edge_grad += weight * worker_grads[index]
+            for index in indices:
+                gap = float(np.linalg.norm(worker_grads[index] - edge_grad))
+                delta_workers[index] = max(delta_workers[index], gap)
+
+    delta_edges = np.array(
+        [
+            float(
+                np.dot(
+                    federation.worker_w_in_edge[edge],
+                    delta_workers[topology.edge_worker_indices(edge)],
+                )
+            )
+            for edge in range(federation.num_edges)
+        ]
+    )
+    delta_global = float(np.dot(federation.edge_w, delta_edges))
+    return delta_workers, delta_edges, delta_global
+
+
+def estimate_mu(
+    velocity_norms: np.ndarray,
+    gradient_step_norms: np.ndarray,
+) -> float:
+    """μ̂ from a training trace (eq. 30).
+
+    ``velocity_norms[t] = ‖γ·v^t‖`` and
+    ``gradient_step_norms[t] = ‖η·∇F(x^t)‖`` recorded along a run; μ is
+    the max ratio.  Zero-gradient steps are skipped (the ratio is not
+    informative there).
+    """
+    velocity_norms = np.asarray(velocity_norms, dtype=np.float64)
+    gradient_step_norms = np.asarray(gradient_step_norms, dtype=np.float64)
+    if velocity_norms.shape != gradient_step_norms.shape:
+        raise ValueError("trace arrays must have matching shapes")
+    mask = gradient_step_norms > 1e-12
+    if not mask.any():
+        raise ValueError("all gradient steps are zero; cannot estimate mu")
+    return float(np.max(velocity_norms[mask] / gradient_step_norms[mask]))

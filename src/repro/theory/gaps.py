@@ -1,0 +1,114 @@
+"""Gap functions of the convergence analysis (Theorems 1–3).
+
+* ``h(x, δ)`` — Theorem 1's bound on the distance between the aggregated
+  real update and the virtual update after ``x`` local iterations, at
+  gradient-diversity level δ (eq. 17).
+* ``s(τ)``    — Theorem 2's bound on the edge-momentum displacement
+  ``‖x_{ℓ+} − x_{ℓ−}‖`` per edge interval (eq. 20).
+* ``j(τ, π, δℓ, δ)`` — Theorem 4's combined per-cloud-interval gap
+  (eq. 23), built from the two above via Theorem 3.
+
+Typography note: eq. (17) is partially garbled in the source PDF text.
+We implement the unique reading consistent with the paper's own checks
+(``h(0, δ) = 0``, ``h ≥ 0``, ``h`` increasing in ``x``): the constant
+term inside the bracket is ``1/(ηβ)``, matching the identity
+``I + J = 1/(ηβ)`` which the constants provably satisfy (tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.theory.constants import MomentumConstants
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["h_gap", "s_gap", "j_gap"]
+
+
+def h_gap(
+    x: int | float,
+    delta: float,
+    constants: MomentumConstants,
+) -> float:
+    """Theorem 1's gap function h(x, δ) (eq. 17).
+
+    ``x`` is the number of local iterations since the last aggregation;
+    ``delta`` the gradient-diversity level (δℓ at edge scope, δ at cloud
+    scope).
+    """
+    if x < 0:
+        raise ValueError(f"x must be >= 0, got {x}")
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    eta, beta, gamma = constants.eta, constants.beta, constants.gamma
+    exponential = (
+        constants.I * constants.gamma_a**x
+        + constants.J * constants.gamma_b**x
+        - 1.0 / (eta * beta)
+    )
+    polynomial = (
+        gamma**2 * (gamma**x - 1.0) - (gamma - 1.0) * x
+    ) / (gamma - 1.0) ** 2
+    value = eta * delta * (exponential - polynomial)
+    # Clamp float roundoff at x=0 (the analytic value is exactly 0).
+    return max(0.0, float(value))
+
+
+def s_gap(
+    tau: int,
+    gamma_edge: float,
+    eta: float,
+    rho: float,
+    gamma: float,
+    mu: float,
+) -> float:
+    """Theorem 2's edge-momentum displacement bound (eq. 20).
+
+        s(τ) = γℓ · τ · η · ρ · (γμ + γ + 1)
+    """
+    if tau < 0:
+        raise ValueError(f"tau must be >= 0, got {tau}")
+    check_fraction(gamma_edge, "gamma_edge")
+    check_positive(eta, "eta")
+    check_positive(rho, "rho")
+    if mu < 0:
+        raise ValueError(f"mu must be >= 0, got {mu}")
+    return gamma_edge * tau * eta * rho * (gamma * mu + gamma + 1.0)
+
+
+def j_gap(
+    tau: int,
+    pi: int,
+    delta_edges: np.ndarray,
+    delta_global: float,
+    edge_weights: np.ndarray,
+    constants: MomentumConstants,
+    *,
+    gamma_edge: float,
+    rho: float,
+    mu: float,
+) -> float:
+    """Theorem 4's combined gap j(τ, π, δℓ, δ) (eq. 23).
+
+        j = h(τπ, δ) + (π+1) · Σℓ (Dℓ/D)(h(τ, δℓ) + s(τ))
+
+    ``delta_edges[ℓ]`` is δℓ and ``edge_weights[ℓ]`` is Dℓ/D.
+    """
+    delta_edges = np.asarray(delta_edges, dtype=np.float64)
+    edge_weights = np.asarray(edge_weights, dtype=np.float64)
+    if delta_edges.shape != edge_weights.shape:
+        raise ValueError(
+            f"delta_edges {delta_edges.shape} and edge_weights "
+            f"{edge_weights.shape} must match"
+        )
+    if not np.isclose(edge_weights.sum(), 1.0):
+        raise ValueError("edge weights must sum to 1")
+
+    s_value = s_gap(
+        tau, gamma_edge, constants.eta, rho, constants.gamma, mu
+    )
+    per_edge = sum(
+        weight * (h_gap(tau, delta, constants) + s_value)
+        for weight, delta in zip(edge_weights, delta_edges)
+    )
+    return h_gap(tau * pi, delta_global, constants) + (pi + 1) * per_edge

@@ -1,0 +1,240 @@
+"""The paper's virtual-update construction (§IV-B, eqs. 8–15).
+
+The convergence analysis compares the *real* distributed trajectory with
+two idealized trajectories:
+
+* the **edge virtual update** x_[k],ℓ — NAG run on the edge loss Fℓ,
+  re-synchronized to the real aggregate at the start of each edge
+  interval (eqs. 8–11), and
+* the **cloud virtual update** x_{p} — NAG run on the global loss F,
+  re-synchronized at each cloud interval (eqs. 12–15).
+
+Theorem 1 bounds ‖x_ℓ−(t) − x_[k],ℓ(t)‖ by h(t−(k−1)τ, δℓ).  This module
+*executes* the construction with exact (full-batch) gradients so the
+tests and benches can verify the bound empirically — the strongest
+correctness check the analysis admits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.federation import Federation
+from repro.utils.validation import check_fraction, check_positive, check_positive_int
+
+__all__ = [
+    "VirtualGapTrace",
+    "edge_virtual_gap_trace",
+    "cloud_virtual_gap_trace",
+]
+
+
+@dataclass
+class VirtualGapTrace:
+    """Per-iteration gap between real aggregate and virtual update."""
+
+    # gaps[edge][t] = ||x_ℓ−(t) − x_[k],ℓ(t)|| for the interval containing t.
+    gaps: list[list[float]]
+    # offsets[t] = t - (k-1)τ, the within-interval iteration count.
+    offsets: list[int]
+    # Parameter points visited by the real workers (filled only when the
+    # trace was run with record_points=True) — the right probe set for
+    # estimating the Assumption-3 constants that Theorem 1's bound uses.
+    visited_points: list[np.ndarray] | None = None
+
+    def max_gap_at_offset(self, edge: int, offset: int) -> float:
+        """Largest observed gap at a given within-interval offset."""
+        values = [
+            gap
+            for gap, off in zip(self.gaps[edge], self.offsets)
+            if off == offset
+        ]
+        if not values:
+            raise ValueError(f"no observations at offset {offset}")
+        return max(values)
+
+
+def _full_edge_gradient(
+    federation: Federation, edge: int, params: np.ndarray
+) -> np.ndarray:
+    """Exact ∇Fℓ(params): data-weighted average of worker full gradients."""
+    indices = federation.topology.edge_worker_indices(edge)
+    weights = federation.worker_w_in_edge[edge]
+    grad = np.zeros(federation.dim)
+    for weight, index in zip(weights, indices):
+        dataset = federation.worker_datasets[index]
+        worker_grad, _ = federation.model.gradient(
+            dataset.x, dataset.y, params
+        )
+        grad += weight * worker_grad
+    return grad
+
+
+def _full_global_gradient(
+    federation: Federation, params: np.ndarray
+) -> np.ndarray:
+    """Exact ∇F(params): data-weighted average over all workers."""
+    grad = np.zeros(federation.dim)
+    for worker in range(federation.num_workers):
+        dataset = federation.worker_datasets[worker]
+        worker_grad, _ = federation.model.gradient(
+            dataset.x, dataset.y, params
+        )
+        grad += federation.global_worker_w[worker] * worker_grad
+    return grad
+
+
+def cloud_virtual_gap_trace(
+    federation: Federation,
+    *,
+    eta: float,
+    gamma: float,
+    tau: int,
+    pi: int,
+    num_cloud_intervals: int,
+) -> VirtualGapTrace:
+    """Theorem 3's quantity: real global aggregate vs cloud virtual update.
+
+    Runs the full deterministic hierarchy (worker NAG + edge aggregation
+    every τ, cloud aggregation every τπ, both without edge momentum) next
+    to the cloud virtual NAG on the exact global gradient (eqs. 12–15),
+    re-synchronized at every cloud boundary.  Returned ``gaps`` has a
+    single row: ``gaps[0][t] = ‖x̄(t) − x_{p}(t)‖``; ``offsets[t]`` is
+    the within-cloud-interval iteration index.
+    """
+    check_positive(eta, "eta")
+    check_fraction(gamma, "gamma")
+    check_positive_int(tau, "tau")
+    check_positive_int(pi, "pi")
+    check_positive_int(num_cloud_intervals, "num_cloud_intervals")
+
+    num_workers = federation.num_workers
+    x0 = federation.initial_params()
+    x = [x0.copy() for _ in range(num_workers)]
+    y = [x0.copy() for _ in range(num_workers)]
+    x_virtual = x0.copy()
+    y_virtual = x0.copy()
+
+    gaps: list[float] = []
+    offsets: list[int] = []
+    period = tau * pi
+
+    for t in range(1, num_cloud_intervals * period + 1):
+        for worker in range(num_workers):
+            dataset = federation.worker_datasets[worker]
+            grad, _ = federation.model.gradient(
+                dataset.x, dataset.y, x[worker]
+            )
+            y_new = x[worker] - eta * grad
+            x[worker] = y_new + gamma * (y_new - y[worker])
+            y[worker] = y_new
+
+        grad = _full_global_gradient(federation, x_virtual)
+        y_new = x_virtual - eta * grad
+        x_virtual = y_new + gamma * (y_new - y_virtual)
+        y_virtual = y_new
+
+        offsets.append((t - 1) % period + 1)
+        real_global = federation.global_average_workers(x)
+        gaps.append(float(np.linalg.norm(real_global - x_virtual)))
+
+        if t % tau == 0:
+            for edge in range(federation.num_edges):
+                indices = federation.topology.edge_worker_indices(edge)
+                x_agg = federation.edge_average(edge, x)
+                y_agg = federation.edge_average(edge, y)
+                for index in indices:
+                    x[index] = x_agg.copy()
+                    y[index] = y_agg.copy()
+        if t % period == 0:
+            x_agg = federation.global_average_workers(x)
+            y_agg = federation.global_average_workers(y)
+            for worker in range(num_workers):
+                x[worker] = x_agg.copy()
+                y[worker] = y_agg.copy()
+            x_virtual = x_agg.copy()
+            y_virtual = y_agg.copy()
+
+    return VirtualGapTrace(gaps=[gaps], offsets=offsets)
+
+
+def edge_virtual_gap_trace(
+    federation: Federation,
+    *,
+    eta: float,
+    gamma: float,
+    tau: int,
+    num_intervals: int,
+    record_points: bool = False,
+) -> VirtualGapTrace:
+    """Run real worker NAG + the edge virtual update; record the gaps.
+
+    Workers use exact full-batch local gradients (Theorem 1 is stated for
+    the deterministic dynamics); edge aggregation (without edge momentum,
+    which Theorem 1 does not involve — that is Theorem 2's term) re-syncs
+    both trajectories at each interval boundary, exactly as eqs. (8)–(9)
+    prescribe.
+    """
+    check_positive(eta, "eta")
+    check_fraction(gamma, "gamma")
+    check_positive_int(tau, "tau")
+    check_positive_int(num_intervals, "num_intervals")
+
+    num_workers = federation.num_workers
+    num_edges = federation.num_edges
+    x0 = federation.initial_params()
+
+    x = [x0.copy() for _ in range(num_workers)]
+    y = [x0.copy() for _ in range(num_workers)]
+    x_virtual = [x0.copy() for _ in range(num_edges)]
+    y_virtual = [x0.copy() for _ in range(num_edges)]
+
+    gaps: list[list[float]] = [[] for _ in range(num_edges)]
+    offsets: list[int] = []
+    visited: list[np.ndarray] | None = [] if record_points else None
+
+    for t in range(1, num_intervals * tau + 1):
+        # Real worker NAG (Alg. 1 lines 5-6) on exact local gradients.
+        for worker in range(num_workers):
+            dataset = federation.worker_datasets[worker]
+            grad, _ = federation.model.gradient(
+                dataset.x, dataset.y, x[worker]
+            )
+            if visited is not None:
+                visited.append(x[worker].copy())
+            y_new = x[worker] - eta * grad
+            x[worker] = y_new + gamma * (y_new - y[worker])
+            y[worker] = y_new
+
+        # Edge virtual update (eqs. 10-11) on the exact edge gradient.
+        for edge in range(num_edges):
+            grad = _full_edge_gradient(federation, edge, x_virtual[edge])
+            y_new = x_virtual[edge] - eta * grad
+            x_virtual[edge] = y_new + gamma * (y_new - y_virtual[edge])
+            y_virtual[edge] = y_new
+
+        offsets.append((t - 1) % tau + 1)
+        for edge in range(num_edges):
+            real_aggregate = federation.edge_average(edge, x)
+            gaps[edge].append(
+                float(np.linalg.norm(real_aggregate - x_virtual[edge]))
+            )
+
+        # Interval boundary: re-synchronize both trajectories (eqs. 8-9 +
+        # Alg. 1 aggregation without the edge-momentum step).
+        if t % tau == 0:
+            for edge in range(num_edges):
+                indices = federation.topology.edge_worker_indices(edge)
+                x_agg = federation.edge_average(edge, x)
+                y_agg = federation.edge_average(edge, y)
+                for index in indices:
+                    x[index] = x_agg.copy()
+                    y[index] = y_agg.copy()
+                x_virtual[edge] = x_agg.copy()
+                y_virtual[edge] = y_agg.copy()
+
+    return VirtualGapTrace(
+        gaps=gaps, offsets=offsets, visited_points=visited
+    )

@@ -1,0 +1,5 @@
+"""Client–edge–cloud topology description."""
+
+from repro.topology.network import Topology
+
+__all__ = ["Topology"]

@@ -1,0 +1,29 @@
+"""Shared utilities: seeded RNG streams, parameter flattening, validation."""
+
+from repro.utils.flatten import (
+    flatten_arrays,
+    unflatten_like,
+    zeros_like_flat,
+)
+from repro.utils.rng import RngStreams, child_seed, make_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "RngStreams",
+    "child_seed",
+    "make_rng",
+    "flatten_arrays",
+    "unflatten_like",
+    "zeros_like_flat",
+    "check_fraction",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,45 @@
+"""Every algorithm must report a JSON-serializable config with its
+hyper-parameters — the histories are archived and must be replayable."""
+
+import json
+
+import pytest
+
+from repro.algorithms import ALGORITHM_REGISTRY
+from repro.experiments import ExperimentConfig, build_algorithm, build_federation
+
+FAST = ExperimentConfig(
+    model="logistic", num_samples=300, total_iterations=4, tau=2, pi=2
+)
+
+
+@pytest.fixture(scope="module")
+def federation():
+    return build_federation(FAST)
+
+
+class TestConfigs:
+    @pytest.mark.parametrize("name", sorted(ALGORITHM_REGISTRY))
+    def test_config_is_json_serializable(self, federation, name):
+        algorithm = build_algorithm(name, federation, FAST)
+        payload = algorithm.config()
+        json.dumps(payload)
+        assert "eta" in payload
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHM_REGISTRY))
+    def test_config_lands_in_history(self, name):
+        federation = build_federation(FAST)
+        algorithm = build_algorithm(name, federation, FAST)
+        history = algorithm.run(4, eval_every=4)
+        for key, value in algorithm.config().items():
+            assert history.config[key] == value
+
+    def test_momentum_configs_include_factors(self, federation):
+        hier = build_algorithm("HierAdMo", federation, FAST)
+        assert "gamma" in hier.config()
+        assert "angle_mode" in hier.config()
+        nag = build_algorithm("FedNAG", federation, FAST)
+        assert "gamma" in nag.config()
+        slow = build_algorithm("SlowMo", federation, FAST)
+        assert "beta" in slow.config()
+        assert "alpha" in slow.config()

@@ -1,0 +1,50 @@
+"""Tests for the FedProx extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedAvg
+from repro.algorithms.fedprox import FedProx
+
+from tests.conftest import build_tiny_federation
+
+
+class TestFedProx:
+    def test_mu_zero_equals_fedavg(self, federation_factory):
+        prox = FedProx(
+            federation_factory(), eta=0.05, tau=4, mu=0.0
+        ).run(12, eval_every=4)
+        avg = FedAvg(federation_factory(), eta=0.05, tau=4).run(
+            12, eval_every=4
+        )
+        assert np.allclose(prox.test_loss, avg.test_loss, atol=1e-10)
+
+    def test_learns(self, tiny_federation):
+        history = FedProx(
+            tiny_federation, eta=0.05, tau=5, mu=0.05
+        ).run(80, eval_every=20)
+        assert history.final_accuracy > 0.5
+
+    def test_proximal_term_limits_drift(self, federation_factory):
+        """Larger mu keeps local models closer to the global anchor."""
+
+        def drift(mu):
+            fed = federation_factory()
+            algo = FedProx(fed, eta=0.05, tau=50, mu=mu)
+            algo.history = fed.new_history("x", {})
+            algo._setup()
+            for t in range(1, 21):
+                algo._step(t)
+            return max(
+                np.linalg.norm(algo.x[w] - algo.global_params)
+                for w in range(fed.num_workers)
+            )
+
+        assert drift(1.0) < drift(0.0)
+
+    def test_negative_mu_rejected(self, tiny_federation):
+        with pytest.raises(ValueError):
+            FedProx(tiny_federation, mu=-0.1)
+
+    def test_config(self, tiny_federation):
+        assert FedProx(tiny_federation, mu=0.3).config()["mu"] == 0.3

@@ -1,0 +1,81 @@
+"""Shared fixtures: tiny deterministic federations for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Federation
+from repro.data import (
+    make_synthetic_mnist,
+    partition_iid,
+    partition_xclass,
+    train_test_split,
+)
+from repro.nn.models import make_logistic_regression
+
+
+@pytest.fixture(scope="session")
+def mnist_corpus():
+    """One small shared synthetic-MNIST corpus (flattened)."""
+    return make_synthetic_mnist(600, rng=11).flattened()
+
+
+@pytest.fixture(scope="session")
+def mnist_split(mnist_corpus):
+    """(train, test) split of the shared corpus."""
+    return train_test_split(mnist_corpus, 0.25, rng=12)
+
+
+def build_tiny_federation(
+    train, test, *, num_edges=2, workers_per_edge=2, scheme="xclass",
+    classes_per_worker=3, batch_size=16, seed=5, model_seed=4,
+):
+    """Small logistic federation used across algorithm tests."""
+    num_workers = num_edges * workers_per_edge
+    if scheme == "xclass":
+        parts = partition_xclass(train, num_workers, classes_per_worker, rng=3)
+    else:
+        parts = partition_iid(train, num_workers, rng=3)
+    edges = [
+        parts[e * workers_per_edge : (e + 1) * workers_per_edge]
+        for e in range(num_edges)
+    ]
+    model = make_logistic_regression(train.num_features, 10, rng=model_seed)
+    return Federation(model, edges, test, batch_size=batch_size, seed=seed)
+
+
+@pytest.fixture()
+def tiny_federation(mnist_split):
+    """Fresh 2-edge × 2-worker logistic federation (non-i.i.d.)."""
+    train, test = mnist_split
+    return build_tiny_federation(train, test)
+
+
+@pytest.fixture()
+def federation_factory(mnist_split):
+    """Factory producing identically-seeded fresh federations."""
+    train, test = mnist_split
+
+    def factory(**kwargs):
+        return build_tiny_federation(train, test, **kwargs)
+
+    return factory
+
+
+def numeric_gradient(model, x, y, params, indices, eps=1e-6):
+    """Central finite-difference gradient at selected coordinates."""
+    out = np.empty(len(indices))
+    for slot, index in enumerate(indices):
+        plus = params.copy()
+        plus[index] += eps
+        model.set_flat_params(plus)
+        model.module.train()
+        loss_plus = model.loss_fn.forward(model.module.forward(x), y)
+        minus = params.copy()
+        minus[index] -= eps
+        model.set_flat_params(minus)
+        loss_minus = model.loss_fn.forward(model.module.forward(x), y)
+        out[slot] = (loss_plus - loss_minus) / (2 * eps)
+    model.set_flat_params(params)
+    return out

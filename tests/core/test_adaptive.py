@@ -1,0 +1,147 @@
+"""Tests for the adaptive edge-momentum factor (eqs. 6–7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import (
+    GAMMA_CAP,
+    AdaptiveGammaController,
+    adapt_gamma,
+    cosine_agreement,
+)
+
+
+class TestAdaptGamma:
+    def test_negative_cosine_zeroed(self):
+        assert adapt_gamma(-0.5) == 0.0
+        assert adapt_gamma(-1.0) == 0.0
+        assert adapt_gamma(0.0) == 0.0
+
+    def test_midrange_passthrough(self):
+        assert adapt_gamma(0.42) == 0.42
+
+    def test_cap(self):
+        assert adapt_gamma(0.995) == GAMMA_CAP
+        assert adapt_gamma(1.0) == GAMMA_CAP
+        assert adapt_gamma(GAMMA_CAP) == GAMMA_CAP
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            adapt_gamma(1.5)
+        with pytest.raises(ValueError):
+            adapt_gamma(-1.01)
+
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    def test_output_always_valid(self, cosine):
+        gamma = adapt_gamma(cosine)
+        assert 0.0 <= gamma <= GAMMA_CAP
+
+    @given(
+        st.floats(min_value=-1.0, max_value=1.0),
+        st.floats(min_value=-1.0, max_value=1.0),
+    )
+    def test_monotone(self, a, b):
+        if a <= b:
+            assert adapt_gamma(a) <= adapt_gamma(b)
+
+
+class TestCosineAgreement:
+    def test_perfect_agreement(self):
+        grad = [np.array([1.0, 0.0])]
+        momentum = [np.array([-2.0, 0.0])]  # -grad direction
+        assert cosine_agreement(grad, momentum, np.array([1.0])) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        grad = [np.array([1.0, 0.0])]
+        momentum = [np.array([3.0, 0.0])]
+        assert cosine_agreement(grad, momentum, np.array([1.0])) == pytest.approx(-1.0)
+
+    def test_orthogonal_is_zero(self):
+        grad = [np.array([1.0, 0.0])]
+        momentum = [np.array([0.0, 1.0])]
+        assert cosine_agreement(grad, momentum, np.array([1.0])) == pytest.approx(0.0)
+
+    def test_weighted_average(self):
+        grads = [np.array([1.0, 0.0]), np.array([1.0, 0.0])]
+        momenta = [np.array([-1.0, 0.0]), np.array([1.0, 0.0])]
+        value = cosine_agreement(grads, momenta, np.array([0.75, 0.25]))
+        assert value == pytest.approx(0.75 - 0.25)
+
+    def test_zero_vectors_contribute_zero(self):
+        grads = [np.zeros(2), np.array([1.0, 0.0])]
+        momenta = [np.array([1.0, 0.0]), np.array([-1.0, 0.0])]
+        value = cosine_agreement(grads, momenta, np.array([0.5, 0.5]))
+        assert value == pytest.approx(0.5)
+
+    def test_scale_invariance(self):
+        grad = [np.array([0.3, -0.7])]
+        momentum = [np.array([-1.2, 2.8])]
+        a = cosine_agreement(grad, momentum, np.array([1.0]))
+        b = cosine_agreement(
+            [grad[0] * 1e6], [momentum[0] * 1e-6], np.array([1.0])
+        )
+        assert a == pytest.approx(b)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cosine_agreement([np.zeros(2)], [], np.array([1.0]))
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_result_in_range(self, seed):
+        rng = np.random.default_rng(seed)
+        grads = [rng.normal(size=5) for _ in range(3)]
+        momenta = [rng.normal(size=5) for _ in range(3)]
+        weights = rng.random(3)
+        weights /= weights.sum()
+        value = cosine_agreement(grads, momenta, weights)
+        assert -1.0 <= value <= 1.0
+
+
+class TestController:
+    def test_velocity_mode_skips_boundary_step(self):
+        controller = AdaptiveGammaController(1, 3, mode="velocity")
+        controller.accumulate(0, np.ones(3), np.ones(3), np.ones(3))
+        assert not controller.grad_sums[0].any()  # first step skipped
+        controller.accumulate(0, np.ones(3), np.ones(3), np.ones(3))
+        assert controller.grad_sums[0].sum() == 3.0
+        assert controller.momentum_sums[0].sum() == 3.0
+
+    def test_y_mode_accumulates_immediately(self):
+        controller = AdaptiveGammaController(1, 3, mode="y")
+        controller.accumulate(0, np.ones(3), 2 * np.ones(3), np.ones(3))
+        assert controller.grad_sums[0].sum() == 3.0
+        assert controller.momentum_sums[0].sum() == 6.0  # y_prev, not velocity
+
+    def test_reset_restores_boundary_skip(self):
+        controller = AdaptiveGammaController(2, 2, mode="velocity")
+        for _ in range(3):
+            controller.accumulate(0, np.ones(2), np.ones(2), np.ones(2))
+        controller.reset_workers([0])
+        assert not controller.grad_sums[0].any()
+        controller.accumulate(0, np.ones(2), np.ones(2), np.ones(2))
+        assert not controller.grad_sums[0].any()  # boundary skip again
+
+    def test_reset_only_named_workers(self):
+        controller = AdaptiveGammaController(2, 2, mode="y")
+        controller.accumulate(0, np.ones(2), np.ones(2), np.ones(2))
+        controller.accumulate(1, np.ones(2), np.ones(2), np.ones(2))
+        controller.reset_workers([0])
+        assert not controller.grad_sums[0].any()
+        assert controller.grad_sums[1].any()
+
+    def test_gamma_for_edge_agreeing_workers(self):
+        controller = AdaptiveGammaController(2, 2, mode="y")
+        for worker in range(2):
+            controller.accumulate(
+                worker, np.array([1.0, 0.0]), np.array([-1.0, 0.0]),
+                np.zeros(2),
+            )
+        gamma = controller.gamma_for_edge([0, 1], np.array([0.5, 0.5]))
+        assert gamma == GAMMA_CAP
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            AdaptiveGammaController(1, 2, mode="delta")

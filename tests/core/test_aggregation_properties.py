@@ -1,0 +1,93 @@
+"""Property tests on the aggregation algebra every algorithm relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Federation
+from repro.data import Dataset
+from repro.nn.models import make_logistic_regression
+
+
+def federation_from_counts(counts, dim_features=3, classes=2, seed=0):
+    rng = np.random.default_rng(seed)
+    edges = []
+    for edge_counts in counts:
+        edge = [
+            Dataset(
+                rng.normal(size=(n, dim_features)),
+                rng.integers(0, classes, n),
+                classes,
+            )
+            for n in edge_counts
+        ]
+        edges.append(edge)
+    model = make_logistic_regression(dim_features, classes, rng=1)
+    return Federation(model, edges, edges[0][0], seed=seed)
+
+
+@st.composite
+def count_structures(draw):
+    num_edges = draw(st.integers(1, 3))
+    return [
+        draw(
+            st.lists(st.integers(1, 40), min_size=1, max_size=3)
+        )
+        for _ in range(num_edges)
+    ]
+
+
+class TestAggregationAlgebra:
+    @given(count_structures(), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_average_of_constant_is_constant(self, counts, seed):
+        fed = federation_from_counts(counts, seed=seed)
+        constant = np.full(fed.dim, 3.25)
+        vectors = [constant.copy() for _ in range(fed.num_workers)]
+        assert np.allclose(fed.global_average_workers(vectors), 3.25)
+        for edge in range(fed.num_edges):
+            assert np.allclose(fed.edge_average(edge, vectors), 3.25)
+
+    @given(count_structures(), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_nested_equals_flat(self, counts, seed):
+        """Σℓ (Dℓ/D) Σᵢ (D_{i,ℓ}/Dℓ) vᵢ == Σ (D_{i,ℓ}/D) vᵢ."""
+        fed = federation_from_counts(counts, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        vectors = [rng.normal(size=fed.dim) for _ in range(fed.num_workers)]
+        nested = fed.cloud_average_edges(
+            [fed.edge_average(e, vectors) for e in range(fed.num_edges)]
+        )
+        flat = fed.global_average_workers(vectors)
+        assert np.allclose(nested, flat)
+
+    @given(count_structures(), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_linearity(self, counts, seed):
+        fed = federation_from_counts(counts, seed=seed)
+        rng = np.random.default_rng(seed + 2)
+        a = [rng.normal(size=fed.dim) for _ in range(fed.num_workers)]
+        b = [rng.normal(size=fed.dim) for _ in range(fed.num_workers)]
+        summed = [x + y for x, y in zip(a, b)]
+        assert np.allclose(
+            fed.global_average_workers(summed),
+            fed.global_average_workers(a) + fed.global_average_workers(b),
+        )
+
+    def test_average_within_convex_hull(self):
+        fed = federation_from_counts([[5, 10], [20]])
+        vectors = [
+            np.full(fed.dim, v) for v in (1.0, 2.0, 3.0)
+        ]
+        out = fed.global_average_workers(vectors)
+        assert (out >= 1.0).all() and (out <= 3.0).all()
+
+    def test_equal_sizes_give_plain_mean(self):
+        fed = federation_from_counts([[7, 7], [7, 7]])
+        rng = np.random.default_rng(3)
+        vectors = [rng.normal(size=fed.dim) for _ in range(4)]
+        assert np.allclose(
+            fed.global_average_workers(vectors),
+            np.mean(vectors, axis=0),
+        )

@@ -1,0 +1,100 @@
+"""Hypothesis-driven invariants of HierAdMo across hyper-parameters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Federation, HierAdMo, HierAdMoR
+from repro.data import Dataset
+from repro.nn.models import make_logistic_regression
+
+
+def unbalanced_federation(seed=0, counts=((12, 37), (25, 9, 18))):
+    rng = np.random.default_rng(seed)
+    classes, features = 4, 6
+    edges = []
+    for edge_counts in counts:
+        edge = [
+            Dataset(
+                rng.normal(size=(n, features)),
+                rng.integers(0, classes, n),
+                classes,
+            )
+            for n in edge_counts
+        ]
+        edges.append(edge)
+    test = Dataset(
+        rng.normal(size=(20, features)), rng.integers(0, classes, 20),
+        classes,
+    )
+    model = make_logistic_regression(features, classes, rng=1)
+    return Federation(model, edges, test, batch_size=8, seed=seed)
+
+
+class TestInvariantsAcrossHyperparameters:
+    @given(
+        st.sampled_from([1, 2, 3, 5]),     # tau
+        st.sampled_from([1, 2, 3]),        # pi
+        st.floats(min_value=0.0, max_value=0.9),  # gamma
+        st.integers(0, 20),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_states_stay_finite(self, tau, pi, gamma, seed):
+        fed = unbalanced_federation(seed)
+        algo = HierAdMo(fed, eta=0.05, gamma=gamma, tau=tau, pi=pi)
+        algo.run(tau * pi * 2, eval_every=tau * pi * 2)
+        for state in algo.x + algo.y:
+            assert np.isfinite(state).all()
+
+    @given(st.sampled_from([1, 2, 4]), st.integers(0, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_full_sync_after_cloud_round(self, tau, seed):
+        fed = unbalanced_federation(seed)
+        algo = HierAdMo(fed, eta=0.05, tau=tau, pi=2)
+        algo.history = fed.new_history("x", {})
+        algo._setup()
+        for t in range(1, 2 * tau + 1):
+            algo._step(t)
+        reference = algo.x[0]
+        for worker in range(1, fed.num_workers):
+            assert np.array_equal(reference, algo.x[worker])
+
+    @given(st.integers(0, 10))
+    @settings(max_examples=8, deadline=None)
+    def test_gamma_trace_always_within_clip_range(self, seed):
+        fed = unbalanced_federation(seed)
+        history = HierAdMo(fed, eta=0.05, tau=3, pi=2).run(
+            18, eval_every=18
+        )
+        for record in history.gamma_trace:
+            for value in record.values():
+                assert 0.0 <= value <= 0.99
+
+
+class TestUnbalancedTopologyEndToEnd:
+    def test_weighted_aggregation_runs_and_learns(self):
+        fed = unbalanced_federation(seed=3)
+        history = HierAdMo(fed, eta=0.05, tau=4, pi=2).run(
+            80, eval_every=20
+        )
+        assert history.final_accuracy > history.test_accuracy[0] - 0.05
+
+    def test_global_params_respect_data_weights(self):
+        """With unbalanced counts, the global model is NOT the plain mean
+        of worker models."""
+        fed = unbalanced_federation(seed=4)
+        algo = HierAdMoR(fed, eta=0.05, tau=3, pi=2, gamma_edge=0.3)
+        algo.history = fed.new_history("x", {})
+        algo._setup()
+        for t in range(1, 3):  # mid-interval: workers have diverged
+            algo._step(t)
+        weighted = algo._global_params()
+        plain_mean = np.mean(algo.x, axis=0)
+        assert not np.allclose(weighted, plain_mean)
+
+    def test_larger_worker_dominates_edge_average(self):
+        fed = unbalanced_federation(seed=5, counts=((5, 95),))
+        vectors = [np.zeros(fed.dim), np.ones(fed.dim)]
+        edge_avg = fed.edge_average(0, vectors)
+        assert np.allclose(edge_avg, 0.95)

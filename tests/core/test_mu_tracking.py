@@ -1,0 +1,38 @@
+"""Tests for the μ-trace tracking extension on HierAdMo."""
+
+import numpy as np
+import pytest
+
+from repro.core import HierAdMo
+from repro.theory import estimate_mu
+
+
+class TestMuTracking:
+    def test_disabled_by_default(self, tiny_federation):
+        algo = HierAdMo(tiny_federation, tau=5, pi=2)
+        algo.run(10, eval_every=10)
+        assert algo.velocity_norms == []
+        assert algo.gradient_step_norms == []
+
+    def test_trace_lengths(self, tiny_federation):
+        algo = HierAdMo(tiny_federation, tau=5, pi=2, track_mu=True)
+        algo.run(10, eval_every=10)
+        expected = 10 * tiny_federation.num_workers
+        assert len(algo.velocity_norms) == expected
+        assert len(algo.gradient_step_norms) == expected
+
+    def test_mu_estimable_from_trace(self, tiny_federation):
+        algo = HierAdMo(tiny_federation, tau=5, pi=2, track_mu=True)
+        algo.run(20, eval_every=20)
+        mu = estimate_mu(
+            np.array(algo.velocity_norms),
+            np.array(algo.gradient_step_norms),
+        )
+        assert mu >= 0
+        assert np.isfinite(mu)
+
+    def test_norms_nonnegative(self, tiny_federation):
+        algo = HierAdMo(tiny_federation, tau=5, pi=2, track_mu=True)
+        algo.run(10, eval_every=10)
+        assert all(v >= 0 for v in algo.velocity_norms)
+        assert all(g >= 0 for g in algo.gradient_step_norms)

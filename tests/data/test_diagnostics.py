@@ -1,0 +1,77 @@
+"""Tests for heterogeneity diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, partition_iid, partition_xclass
+from repro.data.diagnostics import (
+    heterogeneity_summary,
+    js_divergence_from_global,
+    label_distribution_matrix,
+)
+
+
+def corpus(n=600, classes=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        rng.normal(size=(n, 4)), rng.integers(0, classes, n), classes
+    )
+
+
+class TestDistributionMatrix:
+    def test_rows_sum_to_one(self):
+        parts = partition_iid(corpus(), 4, rng=0)
+        matrix = label_distribution_matrix(parts)
+        assert matrix.shape == (4, 6)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_xclass_rows_sparse(self):
+        parts = partition_xclass(corpus(), 3, 2, rng=0)
+        matrix = label_distribution_matrix(parts)
+        assert ((matrix > 0).sum(axis=1) <= 2).all()
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            label_distribution_matrix([])
+
+
+class TestJsDivergence:
+    def test_iid_near_zero(self):
+        parts = partition_iid(corpus(2000), 4, rng=0)
+        divergences = js_divergence_from_global(parts)
+        assert divergences.max() < 0.05
+
+    def test_xclass_much_larger(self):
+        big = corpus(2000)
+        iid = js_divergence_from_global(partition_iid(big, 4, rng=0)).mean()
+        skewed = js_divergence_from_global(
+            partition_xclass(big, 4, 2, rng=0)
+        ).mean()
+        assert skewed > 5 * iid
+
+    def test_bounded_by_one_bit(self):
+        parts = partition_xclass(corpus(), 6, 1, rng=0)
+        divergences = js_divergence_from_global(parts)
+        assert (divergences >= 0).all()
+        assert (divergences <= 1.0 + 1e-9).all()
+
+    def test_stronger_noniid_monotone(self):
+        """Fewer classes per worker => larger mean divergence."""
+        big = corpus(3000)
+        means = [
+            js_divergence_from_global(
+                partition_xclass(big, 6, x, rng=1)
+            ).mean()
+            for x in (1, 3, 6)
+        ]
+        assert means[0] > means[1] > means[2]
+
+
+class TestSummary:
+    def test_fields(self):
+        parts = partition_xclass(corpus(), 4, 3, rng=0)
+        summary = heterogeneity_summary(parts)
+        assert summary["num_workers"] == 4
+        assert summary["mean_classes_per_worker"] <= 3
+        assert summary["min_worker_size"] >= 1
+        assert 0 <= summary["mean_js_divergence_bits"] <= 1

@@ -1,0 +1,74 @@
+"""Tests for mini-batch samplers."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchSampler, Dataset, FullBatchSampler
+
+
+def toy(n=10):
+    x = np.arange(n, dtype=float).reshape(n, 1)
+    return Dataset(x, np.zeros(n, dtype=int), 1)
+
+
+class TestBatchSampler:
+    def test_batch_shapes(self):
+        sampler = BatchSampler(toy(10), 4, rng=0)
+        x, y = sampler.next_batch()
+        assert x.shape == (4, 1)
+        assert y.shape == (4,)
+
+    def test_epoch_covers_all_samples(self):
+        sampler = BatchSampler(toy(12), 4, rng=0)
+        seen = []
+        for _ in range(3):
+            x, _ = sampler.next_batch()
+            seen.extend(x.ravel().tolist())
+        assert sorted(seen) == list(range(12))
+
+    def test_reshuffles_between_epochs(self):
+        sampler = BatchSampler(toy(64), 64, rng=1)
+        first = sampler.next_batch()[0].ravel()
+        second = sampler.next_batch()[0].ravel()
+        assert not np.array_equal(first, second)
+        assert sorted(first) == sorted(second)
+
+    def test_deterministic_given_seed(self):
+        a = BatchSampler(toy(20), 8, rng=3)
+        b = BatchSampler(toy(20), 8, rng=3)
+        for _ in range(5):
+            xa, _ = a.next_batch()
+            xb, _ = b.next_batch()
+            assert np.array_equal(xa, xb)
+
+    def test_batch_larger_than_dataset_clamped(self):
+        sampler = BatchSampler(toy(5), 100, rng=0)
+        x, _ = sampler.next_batch()
+        assert x.shape[0] == 5
+
+    def test_empty_dataset_raises(self):
+        empty = Dataset(np.zeros((0, 1)), np.zeros(0, dtype=int), 1)
+        with pytest.raises(ValueError):
+            BatchSampler(empty, 4, rng=0)
+
+    def test_partial_tail_not_emitted(self):
+        """10 samples, batch 4 -> epochs of 2 full batches, then reshuffle."""
+        sampler = BatchSampler(toy(10), 4, rng=0)
+        for _ in range(10):
+            x, _ = sampler.next_batch()
+            assert x.shape[0] == 4
+
+
+class TestFullBatchSampler:
+    def test_returns_everything_every_time(self):
+        ds = toy(7)
+        sampler = FullBatchSampler(ds)
+        for _ in range(3):
+            x, y = sampler.next_batch()
+            assert x.shape[0] == 7
+            assert np.array_equal(x, ds.x)
+
+    def test_empty_raises(self):
+        empty = Dataset(np.zeros((0, 1)), np.zeros(0, dtype=int), 1)
+        with pytest.raises(ValueError):
+            FullBatchSampler(empty)

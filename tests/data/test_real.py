@@ -1,0 +1,134 @@
+"""Tests for the real-dataset binary parsers (exercised offline via the
+matching writers)."""
+
+import numpy as np
+import pytest
+
+from repro.data.real import (
+    load_mnist_idx,
+    load_or_synthesize,
+    read_cifar10_binary,
+    read_idx,
+    write_cifar10_binary,
+    write_idx,
+)
+
+
+class TestIdx:
+    def test_roundtrip_3d(self, tmp_path):
+        array = np.random.default_rng(0).integers(
+            0, 256, size=(7, 5, 4)
+        ).astype(np.uint8)
+        path = tmp_path / "images.idx"
+        write_idx(path, array)
+        assert np.array_equal(read_idx(path), array)
+
+    def test_roundtrip_1d(self, tmp_path):
+        labels = np.array([3, 1, 4, 1, 5], dtype=np.uint8)
+        path = tmp_path / "labels.idx"
+        write_idx(path, labels)
+        assert np.array_equal(read_idx(path), labels)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"\x01\x00\x08\x01" + b"\x00" * 8)
+        with pytest.raises(ValueError, match="magic"):
+            read_idx(path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = tmp_path / "short.idx"
+        import struct
+
+        header = struct.pack(">BBBB", 0, 0, 0x08, 1) + struct.pack(">I", 10)
+        path.write_bytes(header + b"\x00" * 3)
+        with pytest.raises(ValueError, match="payload"):
+            read_idx(path)
+
+    def test_mnist_pair(self, tmp_path):
+        rng = np.random.default_rng(1)
+        images = rng.integers(0, 256, size=(20, 28, 28)).astype(np.uint8)
+        labels = rng.integers(0, 10, size=20).astype(np.uint8)
+        write_idx(tmp_path / "imgs", images)
+        write_idx(tmp_path / "lbls", labels)
+        dataset = load_mnist_idx(tmp_path / "imgs", tmp_path / "lbls")
+        assert dataset.x.shape == (20, 1, 28, 28)
+        assert dataset.x.max() <= 1.0
+        assert dataset.num_classes == int(labels.max()) + 1
+
+    def test_mismatched_pair_rejected(self, tmp_path):
+        write_idx(tmp_path / "imgs", np.zeros((5, 4, 4), dtype=np.uint8))
+        write_idx(tmp_path / "lbls", np.zeros(6, dtype=np.uint8))
+        with pytest.raises(ValueError, match="match"):
+            load_mnist_idx(tmp_path / "imgs", tmp_path / "lbls")
+
+
+class TestCifarBinary:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(2)
+        images = rng.random((12, 3, 32, 32))
+        labels = rng.integers(0, 10, 12)
+        path = tmp_path / "data_batch_1.bin"
+        write_cifar10_binary(path, images, labels)
+        dataset = read_cifar10_binary([path])
+        assert dataset.x.shape == (12, 3, 32, 32)
+        assert np.array_equal(dataset.y, labels)
+        assert np.abs(dataset.x - images).max() < 1 / 255 + 1e-9
+
+    def test_multiple_batches_concatenated(self, tmp_path):
+        rng = np.random.default_rng(3)
+        for i in (1, 2):
+            write_cifar10_binary(
+                tmp_path / f"data_batch_{i}.bin",
+                rng.random((5, 3, 32, 32)),
+                rng.integers(0, 10, 5),
+            )
+        dataset = read_cifar10_binary(
+            [tmp_path / "data_batch_1.bin", tmp_path / "data_batch_2.bin"]
+        )
+        assert len(dataset) == 10
+
+    def test_corrupt_size_rejected(self, tmp_path):
+        path = tmp_path / "broken.bin"
+        path.write_bytes(b"\x00" * 100)
+        with pytest.raises(ValueError, match="multiple"):
+            read_cifar10_binary([path])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            read_cifar10_binary([])
+
+
+class TestLoadOrSynthesize:
+    def test_falls_back_to_synthetic(self, tmp_path):
+        dataset = load_or_synthesize("mnist", tmp_path, 50, rng=0)
+        assert dataset.name == "synthetic-mnist"
+        assert len(dataset) == 50
+
+    def test_no_root_synthesizes(self):
+        dataset = load_or_synthesize("cifar10", None, 30, rng=0)
+        assert dataset.name == "synthetic-cifar10"
+
+    def test_prefers_real_mnist(self, tmp_path):
+        rng = np.random.default_rng(4)
+        write_idx(
+            tmp_path / "train-images-idx3-ubyte",
+            rng.integers(0, 256, size=(40, 8, 8)).astype(np.uint8),
+        )
+        write_idx(
+            tmp_path / "train-labels-idx1-ubyte",
+            rng.integers(0, 10, 40).astype(np.uint8),
+        )
+        dataset = load_or_synthesize("mnist", tmp_path, 25, rng=0)
+        assert dataset.name == "mnist-idx"
+        assert len(dataset) == 25  # truncated to request
+
+    def test_prefers_real_cifar(self, tmp_path):
+        rng = np.random.default_rng(5)
+        write_cifar10_binary(
+            tmp_path / "data_batch_1.bin",
+            rng.random((15, 3, 32, 32)),
+            rng.integers(0, 10, 15),
+        )
+        dataset = load_or_synthesize("cifar10", tmp_path, 10, rng=0)
+        assert dataset.name == "cifar10-binary"
+        assert len(dataset) == 10

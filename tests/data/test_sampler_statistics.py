@@ -1,0 +1,54 @@
+"""Statistical behaviour of the batch sampler over many draws."""
+
+import numpy as np
+
+from repro.data import BatchSampler, Dataset
+
+
+def labeled_dataset(n=120, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    y = np.concatenate([np.full(n // classes, c) for c in range(classes)])
+    x = rng.normal(size=(y.size, 3))
+    return Dataset(x, y, classes)
+
+
+class TestSamplerStatistics:
+    def test_long_run_label_frequency_matches_dataset(self):
+        ds = labeled_dataset()
+        sampler = BatchSampler(ds, 20, rng=1)
+        counts = np.zeros(ds.num_classes)
+        for _ in range(120):  # 20 epochs
+            _, y = sampler.next_batch()
+            counts += np.bincount(y, minlength=ds.num_classes)
+        frequency = counts / counts.sum()
+        assert np.allclose(frequency, 0.25, atol=0.01)
+
+    def test_within_epoch_no_duplicates(self):
+        ds = labeled_dataset(40)
+        ds.x[:, 0] = np.arange(40)
+        sampler = BatchSampler(ds, 10, rng=2)
+        seen = []
+        for _ in range(4):  # exactly one epoch
+            x, _ = sampler.next_batch()
+            seen.extend(x[:, 0].tolist())
+        assert len(set(seen)) == 40
+
+    def test_two_samplers_same_data_different_streams(self):
+        ds = labeled_dataset()
+        a = BatchSampler(ds, 16, rng=3)
+        b = BatchSampler(ds, 16, rng=4)
+        xa, _ = a.next_batch()
+        xb, _ = b.next_batch()
+        assert not np.array_equal(xa, xb)
+
+    def test_batch_label_variance_reasonable(self):
+        """Batches are random, not stratified: per-batch class counts
+        fluctuate (sanity that we are not accidentally sorting)."""
+        ds = labeled_dataset()
+        sampler = BatchSampler(ds, 20, rng=5)
+        per_batch_counts = []
+        for _ in range(30):
+            _, y = sampler.next_batch()
+            per_batch_counts.append(np.bincount(y, minlength=4))
+        spread = np.std(per_batch_counts, axis=0)
+        assert (spread > 0.2).all()

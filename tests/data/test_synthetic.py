@@ -1,0 +1,110 @@
+"""Tests for synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_BUILDERS,
+    make_blob_dataset,
+    make_dataset,
+    make_synthetic_cifar10,
+    make_synthetic_har,
+    make_synthetic_imagenet,
+    make_synthetic_mnist,
+)
+from repro.nn.models import make_logistic_regression
+
+
+class TestBlobDataset:
+    def test_shape_and_classes(self):
+        ds = make_blob_dataset(50, 5, channels=2, image_size=6, rng=0)
+        assert ds.x.shape == (50, 2, 6, 6)
+        assert ds.num_classes == 5
+        assert set(np.unique(ds.y)) <= set(range(5))
+
+    def test_deterministic(self):
+        a = make_blob_dataset(20, 3, rng=42)
+        b = make_blob_dataset(20, 3, rng=42)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = make_blob_dataset(20, 3, rng=1)
+        b = make_blob_dataset(20, 3, rng=2)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_noise_controls_separability(self):
+        """Same-class samples are closer together at low noise."""
+        def intra_class_spread(noise):
+            ds = make_blob_dataset(100, 2, noise=noise, rng=5)
+            spread = 0.0
+            for c in range(2):
+                xs = ds.x[ds.y == c].reshape(-1, ds.num_features)
+                spread += xs.std(axis=0).mean()
+            return spread
+
+        assert intra_class_spread(0.1) < intra_class_spread(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_blob_dataset(0, 3)
+        with pytest.raises(ValueError):
+            make_blob_dataset(10, 0)
+
+
+class TestNamedDatasets:
+    @pytest.mark.parametrize("name", sorted(DATASET_BUILDERS))
+    def test_builders_produce_data(self, name):
+        ds = make_dataset(name, 40, rng=0)
+        assert len(ds) == 40
+        assert ds.num_classes >= 2
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_dataset("svhn", 10)
+
+    def test_mnist_is_single_channel(self):
+        ds = make_synthetic_mnist(10, rng=0)
+        assert ds.x.shape[1] == 1
+        assert ds.num_classes == 10
+
+    def test_cifar_is_rgb(self):
+        ds = make_synthetic_cifar10(10, rng=0)
+        assert ds.x.shape[1] == 3
+
+    def test_imagenet_has_more_classes(self):
+        ds = make_synthetic_imagenet(10, rng=0)
+        assert ds.num_classes == 20
+
+    def test_har_is_flat_six_classes(self):
+        ds = make_synthetic_har(30, rng=0)
+        assert ds.x.ndim == 2
+        assert ds.num_classes == 6
+
+
+class TestLearnability:
+    """The stand-ins must be learnable, or no experiment means anything."""
+
+    def test_mnist_linear_separability(self):
+        ds = make_synthetic_mnist(400, rng=3).flattened()
+        model = make_logistic_regression(ds.num_features, 10, rng=1)
+        params = model.get_flat_params()
+        rng = np.random.default_rng(0)
+        for _ in range(150):
+            idx = rng.integers(0, len(ds), 32)
+            grad, _ = model.gradient(ds.x[idx], ds.y[idx], params)
+            params -= 0.05 * grad
+        model.set_flat_params(params)
+        assert model.accuracy(ds.x, ds.y) > 0.8
+
+    def test_har_learnable(self):
+        ds = make_synthetic_har(400, rng=3)
+        model = make_logistic_regression(ds.num_features, 6, rng=1)
+        params = model.get_flat_params()
+        rng = np.random.default_rng(0)
+        for _ in range(150):
+            idx = rng.integers(0, len(ds), 32)
+            grad, _ = model.gradient(ds.x[idx], ds.y[idx], params)
+            params -= 0.05 * grad
+        model.set_flat_params(params)
+        assert model.accuracy(ds.x, ds.y) > 0.7

@@ -1,0 +1,43 @@
+"""Tests for the HierAdMo adaptation knobs exposed via ExperimentConfig."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    build_algorithm,
+    build_federation,
+)
+
+FAST = dict(model="logistic", num_samples=300, total_iterations=6, tau=2,
+            pi=2, eval_every=6)
+
+
+class TestAdaptationKnobs:
+    def test_defaults(self):
+        config = ExperimentConfig(**FAST)
+        assert config.angle_mode == "velocity"
+        assert config.gamma_smoothing == 0.3
+
+    def test_knobs_reach_algorithm(self):
+        config = ExperimentConfig(
+            angle_mode="y", gamma_smoothing=0.7, **FAST
+        )
+        algo = build_algorithm("HierAdMo", build_federation(config), config)
+        assert algo.angle_mode == "y"
+        assert algo.gamma_smoothing == 0.7
+        algo._setup()  # the controller is allocated at setup time
+        assert algo.controller.mode == "y"
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError, match="angle_mode"):
+            ExperimentConfig(angle_mode="delta", **FAST)
+        with pytest.raises(ValueError, match="gamma_smoothing"):
+            ExperimentConfig(gamma_smoothing=0.0, **FAST)
+        with pytest.raises(ValueError, match="gamma_smoothing"):
+            ExperimentConfig(gamma_smoothing=1.5, **FAST)
+
+    def test_raw_rule_runnable_via_config(self):
+        config = ExperimentConfig(gamma_smoothing=1.0, **FAST)
+        algo = build_algorithm("HierAdMo", build_federation(config), config)
+        history = algo.run(6, eval_every=6)
+        assert history.config["gamma_smoothing"] == 1.0

@@ -1,0 +1,46 @@
+"""Tests for ExperimentConfig."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.num_workers == 4
+        assert config.two_tier_tau == 20
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("dataset", "svhn"),
+            ("model", "transformer"),
+            ("scheme", "sorted"),
+            ("eta", 0.0),
+            ("gamma", 1.0),
+            ("tau", 0),
+            ("pi", 0),
+            ("num_edges", 0),
+            ("total_iterations", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**{field: value})
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new(self):
+        base = ExperimentConfig()
+        changed = base.with_overrides(tau=7)
+        assert changed.tau == 7
+        assert base.tau == 10  # frozen original untouched
+
+    def test_override_validation_applies(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig().with_overrides(gamma=2.0)
+
+    def test_two_tier_tau_follows(self):
+        config = ExperimentConfig(tau=15, pi=3)
+        assert config.two_tier_tau == 45

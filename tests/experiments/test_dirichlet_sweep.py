@@ -1,0 +1,41 @@
+"""Tests for the Dirichlet companion sweep."""
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.noniid import run_dirichlet_sweep
+
+TINY = ExperimentConfig(
+    model="logistic",
+    num_samples=400,
+    total_iterations=8,
+    tau=2,
+    pi=2,
+    eval_every=8,
+    scheme="dirichlet",
+)
+
+
+class TestDirichletSweep:
+    def test_structure(self):
+        out = run_dirichlet_sweep(
+            (0.2, 5.0),
+            algorithms=("HierAdMo", "FedAvg"),
+            base_config=TINY,
+        )
+        assert set(out) == {0.2, 5.0}
+        assert set(out[0.2]) == {"HierAdMo", "FedAvg"}
+
+    def test_scheme_forced_to_dirichlet(self):
+        base = TINY.with_overrides(scheme="iid")
+        out = run_dirichlet_sweep(
+            (1.0,), algorithms=("FedAvg",), base_config=base
+        )
+        history = out[1.0]["FedAvg"]
+        assert history.iterations[-1] == 8
+
+    def test_alpha_changes_partition(self):
+        out = run_dirichlet_sweep(
+            (0.1, 100.0), algorithms=("FedAvg",), base_config=TINY
+        )
+        a = out[0.1]["FedAvg"].test_accuracy
+        b = out[100.0]["FedAvg"].test_accuracy
+        assert a != b  # different partitions, different trajectories

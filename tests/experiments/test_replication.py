@@ -1,0 +1,65 @@
+"""Tests for seed replication."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.replication import (
+    ReplicatedResult,
+    format_replicated,
+    run_replicated,
+)
+
+TINY = ExperimentConfig(
+    model="logistic", num_samples=300, total_iterations=8, tau=2, pi=2,
+    eval_every=8,
+)
+
+
+class TestRunReplicated:
+    def test_replicate_count(self):
+        result, histories = run_replicated("FedAvg", TINY, num_seeds=3)
+        assert len(histories) == 3
+        assert len(result.final_accuracies) == 3
+
+    def test_replicates_differ(self):
+        result, histories = run_replicated("FedAvg", TINY, num_seeds=3)
+        # Different seeds -> (almost surely) different trajectories.
+        curves = {tuple(h.test_accuracy) for h in histories}
+        assert len(curves) > 1
+
+    def test_reproducible_replication_set(self):
+        a, _ = run_replicated("FedAvg", TINY, num_seeds=2)
+        b, _ = run_replicated("FedAvg", TINY, num_seeds=2)
+        assert a.final_accuracies == b.final_accuracies
+
+    def test_single_seed_zero_std(self):
+        result, _ = run_replicated("FedAvg", TINY, num_seeds=1)
+        assert result.std_accuracy == 0.0
+
+    def test_mean_consistent(self):
+        result, _ = run_replicated("FedAvg", TINY, num_seeds=3)
+        assert result.mean_accuracy == pytest.approx(
+            sum(result.final_accuracies) / 3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_replicated("FedAvg", TINY, num_seeds=0)
+
+
+class TestFormatting:
+    def test_table_sorted(self):
+        rows = [
+            ReplicatedResult("a", 0.5, 0.01, (0.5,)),
+            ReplicatedResult("b", 0.9, 0.02, (0.9,)),
+        ]
+        text = format_replicated(rows)
+        assert text.index("b") < text.index("a ")
+        assert "±" in text
+
+    def test_empty(self):
+        assert format_replicated([]) == "(no results)"
+
+    def test_str(self):
+        row = ReplicatedResult("x", 0.1234, 0.01, (0.12, 0.13))
+        assert "0.1234" in str(row)

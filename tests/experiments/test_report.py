@@ -1,0 +1,42 @@
+"""Tests for the reproduction-report generator (theory-only fast paths;
+the compute-heavy sections are exercised by the benchmarks)."""
+
+import pytest
+
+from repro.experiments.report import SCALES, generate_report
+
+
+class TestReport:
+    def test_theory_section_only(self, tmp_path):
+        out = tmp_path / "report.md"
+        text = generate_report(out, scale="quick", sections=("theory",))
+        assert "Theorem 5" in text
+        assert "0.2500" in text
+        assert out.read_text() == text
+
+    def test_returns_without_path(self):
+        text = generate_report(scale="quick", sections=("theory",))
+        assert text.startswith("# HierAdMo reproduction report")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            generate_report(scale="huge", sections=("theory",))
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown sections"):
+            generate_report(scale="quick", sections=("figures",))
+
+    def test_scales_registered(self):
+        assert set(SCALES) == {"quick", "full"}
+        assert SCALES["full"].iterations >= SCALES["quick"].iterations
+
+    def test_timing_section_small(self):
+        """Exercise one compute section at minimum size."""
+        from repro.experiments.report import QUICK, _section_timing
+        from dataclasses import replace
+
+        tiny = replace(QUICK, iterations=40, samples=400, timing_target=0.3)
+        lines: list[str] = []
+        _section_timing(tiny, lines)
+        text = "\n".join(lines)
+        assert "HierAdMo" in text

@@ -1,0 +1,58 @@
+"""End-to-end CLI workflows (the commands a user actually types)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST = [
+    "--samples", "300", "--iterations", "8", "--tau", "2", "--pi", "2",
+    "--model", "logistic",
+]
+
+
+class TestCliWorkflows:
+    def test_noniid_command(self, capsys):
+        code = main(["noniid", "--levels", "3", "9"] + FAST)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "x=3" in out and "x=9" in out
+        assert "HierAdMo" in out
+
+    def test_run_then_reload_history(self, tmp_path, capsys):
+        """Train, save, reload — the archival workflow."""
+        from repro.metrics import load_history
+
+        target = tmp_path / "run.json"
+        code = main(
+            ["run", "--algorithm", "HierAdMo", "--save", str(target)] + FAST
+        )
+        assert code == 0
+        history = load_history(target)
+        assert history.algorithm == "HierAdMo"
+        assert history.config["tau"] == 2
+        assert len(history.gamma_trace) == 4  # K = 8 / 2
+
+    def test_table2_respects_scaled_iterations(self, capsys):
+        """The Linear column doubles T via iterations_scale."""
+        code = main(["table2", "--combo", "Linear/MNIST"] + FAST)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Linear/MNIST" in out
+
+    def test_timing_with_custom_topology(self, capsys):
+        code = main(
+            ["timing", "--target", "0.1", "--edges", "3",
+             "--workers-per-edge", "2"] + FAST
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HierAdMo" in out
+
+    def test_seed_flag_changes_results(self, capsys):
+        main(["run", "--algorithm", "FedAvg", "--seed", "1"] + FAST)
+        first = capsys.readouterr().out
+        main(["run", "--algorithm", "FedAvg", "--seed", "2"] + FAST)
+        second = capsys.readouterr().out
+        assert first != second

@@ -1,0 +1,100 @@
+"""End-to-end convergence tests: the paper's qualitative claims.
+
+These run real (small) federated training and check the *shape* results
+of the evaluation section with tolerant margins.  They are the
+integration layer between unit tests and the full benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_many, run_single
+
+CONVEX = ExperimentConfig(
+    model="logistic",
+    dataset="mnist",
+    num_samples=1200,
+    total_iterations=300,
+    tau=10,
+    pi=2,
+    eta=0.02,
+    eval_every=75,
+    scheme="xclass",
+    classes_per_worker=3,
+)
+
+
+@pytest.fixture(scope="module")
+def convex_results():
+    algorithms = (
+        "HierAdMo",
+        "HierAdMo-R",
+        "HierFAVG",
+        "FedNAG",
+        "FedAvg",
+    )
+    return run_many(algorithms, CONVEX)
+
+
+class TestHeadlineOrdering:
+    def test_everything_learns(self, convex_results):
+        for name, history in convex_results.items():
+            assert history.final_accuracy > 0.5, name
+
+    def test_hieradmo_beats_no_momentum_hierarchical(self, convex_results):
+        """① > ②: momentum accelerates the three-tier architecture."""
+        assert (
+            convex_results["HierAdMo"].final_accuracy
+            >= convex_results["HierFAVG"].final_accuracy - 0.01
+        )
+
+    def test_hieradmo_beats_fedavg(self, convex_results):
+        """HierAdMo > ④ by a clear margin."""
+        assert (
+            convex_results["HierAdMo"].final_accuracy
+            > convex_results["FedAvg"].final_accuracy
+        )
+
+    def test_hierarchical_momentum_beats_flat_momentum(self, convex_results):
+        """① > ③: the edge tier helps beyond worker momentum alone."""
+        assert (
+            convex_results["HierAdMo"].final_accuracy
+            >= convex_results["FedNAG"].final_accuracy - 0.01
+        )
+
+    def test_adaptive_near_fixed(self, convex_results):
+        """HierAdMo tracks HierAdMo-R within a small margin (Theorem 5
+        says adaptive wins in expectation; on one seed we allow slack)."""
+        assert (
+            convex_results["HierAdMo"].final_accuracy
+            >= convex_results["HierAdMo-R"].final_accuracy - 0.05
+        )
+
+
+class TestCnnPath:
+    def test_cnn_hieradmo_learns(self):
+        config = ExperimentConfig(
+            model="cnn",
+            dataset="mnist",
+            num_samples=600,
+            total_iterations=60,
+            tau=5,
+            pi=2,
+            eta=0.05,
+            eval_every=20,
+            classes_per_worker=5,
+        )
+        history = run_single("HierAdMo", config)
+        assert history.final_accuracy > history.test_accuracy[0]
+
+
+class TestNonIidDegradation:
+    def test_stronger_heterogeneity_hurts(self):
+        """Fig. 2(e–g): smaller x-class lowers accuracy at equal T."""
+        base = CONVEX.with_overrides(total_iterations=150, eval_every=150)
+        weak = run_single(
+            "FedAvg", base.with_overrides(classes_per_worker=9)
+        )
+        strong = run_single(
+            "FedAvg", base.with_overrides(classes_per_worker=3)
+        )
+        assert weak.final_accuracy >= strong.final_accuracy - 0.02

@@ -1,0 +1,34 @@
+"""Bit-for-bit reproducibility of full experiment runs."""
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, run_single
+
+CONFIG = ExperimentConfig(
+    model="logistic",
+    num_samples=400,
+    total_iterations=30,
+    tau=3,
+    pi=2,
+    eval_every=10,
+)
+
+
+class TestReproducibility:
+    def test_identical_runs(self):
+        a = run_single("HierAdMo", CONFIG)
+        b = run_single("HierAdMo", CONFIG)
+        assert a.test_accuracy == b.test_accuracy
+        assert a.test_loss == b.test_loss
+        assert a.gamma_trace == b.gamma_trace
+
+    def test_seed_changes_everything(self):
+        a = run_single("HierAdMo", CONFIG)
+        b = run_single("HierAdMo", CONFIG.with_overrides(seed=99))
+        assert a.test_accuracy != b.test_accuracy
+
+    def test_all_algorithm_families_reproducible(self):
+        for name in ("FedNAG", "SlowMo", "HierFAVG", "Mime"):
+            a = run_single(name, CONFIG)
+            b = run_single(name, CONFIG)
+            assert a.test_loss == b.test_loss, name

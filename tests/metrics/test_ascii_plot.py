@@ -1,0 +1,80 @@
+"""Tests for terminal plotting helpers."""
+
+import pytest
+
+from repro.metrics import TrainingHistory
+from repro.metrics.ascii_plot import ascii_curve, compare_curves, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_extremes_use_extreme_blocks(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_custom_range(self):
+        line = sparkline([0.5], low=0.0, high=1.0)
+        assert line in "▃▄▅"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestAsciiCurve:
+    def test_dimensions(self):
+        text = ascii_curve(range(10), range(10), width=30, height=8)
+        lines = text.split("\n")
+        assert len(lines) == 8 + 2  # grid + axis + x labels
+        assert any("*" in line for line in lines)
+
+    def test_label_included(self):
+        text = ascii_curve([0, 1], [0, 1], label="accuracy")
+        assert text.startswith("accuracy")
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            ascii_curve([1, 2], [1])
+
+    def test_monotone_curve_descends_grid(self):
+        """Top-left to bottom-right for a decreasing series."""
+        text = ascii_curve(range(5), [4, 3, 2, 1, 0], width=5, height=5)
+        grid_lines = [l for l in text.split("\n") if "|" in l]
+        first_star_col = grid_lines[0].index("*")
+        last_star_col = grid_lines[-1].index("*")
+        assert first_star_col < last_star_col
+
+
+class TestCompareCurves:
+    def histories(self):
+        out = {}
+        for name, curve in [("a", [0.1, 0.5, 0.9]), ("b", [0.1, 0.2, 0.3])]:
+            h = TrainingHistory(name)
+            for t, acc in enumerate(curve):
+                h.record_eval(t, acc, 0.1, 0.1)
+            out[name] = h
+        return out
+
+    def test_all_names_present(self):
+        text = compare_curves(self.histories())
+        assert "a" in text and "b" in text
+        assert "0.900" in text and "0.300" in text
+
+    def test_downsampling_long_curves(self):
+        h = TrainingHistory("long")
+        for t in range(200):
+            h.record_eval(t, t / 200, 0.1, 0.1)
+        text = compare_curves({"long": h}, width=20)
+        line = text.split("\n")[0]
+        # name + sparkline(<=20) + final value.
+        assert len(line) < 40
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compare_curves({})

@@ -1,0 +1,65 @@
+"""Tests for TrainingHistory."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import TrainingHistory
+
+
+@pytest.fixture()
+def history():
+    h = TrainingHistory(algorithm="test", config={"eta": 0.01})
+    for t, acc in [(0, 0.1), (10, 0.5), (20, 0.9), (30, 0.95)]:
+        h.record_eval(t, acc, test_loss=1.0 - acc, train_loss=1.0 - acc)
+    return h
+
+
+class TestRecording:
+    def test_series_lengths(self, history):
+        assert len(history.iterations) == 4
+        assert len(history.test_accuracy) == 4
+        assert len(history.test_loss) == 4
+
+    def test_final_and_best(self, history):
+        assert history.final_accuracy == 0.95
+        assert history.best_accuracy == 0.95
+
+    def test_best_differs_from_final(self):
+        h = TrainingHistory("x")
+        h.record_eval(0, 0.9, 0.1, 0.1)
+        h.record_eval(1, 0.5, 0.5, 0.5)
+        assert h.best_accuracy == 0.9
+        assert h.final_accuracy == 0.5
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ValueError):
+            TrainingHistory("x").final_accuracy
+
+    def test_gamma_trace(self, history):
+        history.record_gammas({0: 0.5, 1: 0.25})
+        assert history.gamma_trace == [{0: 0.5, 1: 0.25}]
+
+
+class TestTimeToAccuracy:
+    def test_reached(self, history):
+        assert history.iterations_to_accuracy(0.9) == 20
+        assert history.iterations_to_accuracy(0.05) == 0
+
+    def test_never_reached(self, history):
+        assert history.iterations_to_accuracy(0.99) is None
+
+    def test_exact_boundary(self, history):
+        assert history.iterations_to_accuracy(0.95) == 30
+
+
+class TestSerialization:
+    def test_curve_arrays(self, history):
+        iterations, accuracy = history.accuracy_curve()
+        assert np.array_equal(iterations, [0, 10, 20, 30])
+        assert accuracy[-1] == 0.95
+
+    def test_summary_fields(self, history):
+        summary = history.summary()
+        assert summary["algorithm"] == "test"
+        assert summary["final_accuracy"] == 0.95
+        assert summary["iterations"] == 30

@@ -1,0 +1,56 @@
+"""Tests for history JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    TrainingHistory,
+    history_from_dict,
+    history_to_dict,
+    load_history,
+    save_history,
+)
+
+
+@pytest.fixture()
+def history():
+    h = TrainingHistory("HierAdMo", config={"eta": 0.01, "tau": 10})
+    h.record_eval(0, 0.1, 2.3, 2.3)
+    h.record_eval(10, 0.8, 0.5, 0.6)
+    h.record_gammas({0: 0.5, 1: 0.25})
+    h.worker_edge_rounds = 3
+    h.edge_cloud_rounds = 1
+    return h
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self, history):
+        restored = history_from_dict(history_to_dict(history))
+        assert restored.algorithm == history.algorithm
+        assert restored.config == history.config
+        assert restored.test_accuracy == history.test_accuracy
+        assert restored.gamma_trace == history.gamma_trace
+        assert restored.worker_edge_rounds == 3
+
+    def test_file_roundtrip(self, history, tmp_path):
+        path = tmp_path / "run.json"
+        save_history(history, path)
+        restored = load_history(path)
+        assert restored.final_accuracy == history.final_accuracy
+        assert restored.iterations == history.iterations
+
+    def test_dict_is_json_clean(self, history):
+        import json
+
+        payload = history_to_dict(history)
+        json.dumps(payload)  # must not raise
+
+    def test_numpy_values_coerced(self):
+        h = TrainingHistory("x")
+        h.record_eval(np.int64(5), np.float64(0.5), 0.1, 0.1)
+        payload = history_to_dict(h)
+        import json
+
+        json.dumps(payload)
+        restored = history_from_dict(payload)
+        assert restored.iterations == [5]

@@ -1,0 +1,163 @@
+"""Finite-difference gradient checks for every layer type.
+
+These are the load-bearing tests of the nn substrate: if a layer's
+backward pass is right, FL training dynamics above it are trustworthy.
+Each check builds a tiny net ending in a scalar-producing loss and
+compares analytic and numeric gradients at random coordinates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dense,
+    Flatten,
+    GlobalAvgPool2d,
+    LeakyReLU,
+    MaxPool2d,
+    MSELoss,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    SoftmaxCrossEntropyLoss,
+    SupervisedModel,
+    Tanh,
+)
+
+RNG = np.random.default_rng(1234)
+
+
+def check_model_gradient(model, x, y, num_coords=10, eps=1e-6, tol=2e-4):
+    """Assert analytic grad matches central differences at random coords."""
+    params = model.get_flat_params()
+    analytic, _ = model.gradient(x, y, params)
+    coords = RNG.choice(params.size, size=min(num_coords, params.size),
+                        replace=False)
+    for index in coords:
+        plus = params.copy()
+        plus[index] += eps
+        model.set_flat_params(plus)
+        model.module.train()
+        loss_plus = model.loss_fn.forward(model.module.forward(x), y)
+        minus = params.copy()
+        minus[index] -= eps
+        model.set_flat_params(minus)
+        loss_minus = model.loss_fn.forward(model.module.forward(x), y)
+        numeric = (loss_plus - loss_minus) / (2 * eps)
+        assert analytic[index] == pytest.approx(numeric, abs=tol), (
+            f"coord {index}: analytic={analytic[index]}, numeric={numeric}"
+        )
+
+
+def image_batch(n=4, c=2, size=6):
+    return RNG.normal(size=(n, c, size, size))
+
+
+def labels(n=4, classes=3):
+    return RNG.integers(0, classes, size=n)
+
+
+class TestDenseGrad:
+    def test_dense_ce(self):
+        model = SupervisedModel(Dense(5, 3, rng=1), SoftmaxCrossEntropyLoss())
+        check_model_gradient(model, RNG.normal(size=(6, 5)), labels(6))
+
+    def test_dense_mse(self):
+        model = SupervisedModel(Dense(5, 3, rng=1), MSELoss())
+        check_model_gradient(model, RNG.normal(size=(6, 5)), labels(6))
+
+    def test_dense_no_bias(self):
+        model = SupervisedModel(
+            Dense(4, 2, bias=False, rng=1), SoftmaxCrossEntropyLoss()
+        )
+        check_model_gradient(model, RNG.normal(size=(5, 4)), labels(5, 2))
+
+
+class TestConvGrad:
+    def test_conv_basic(self):
+        net = Sequential(Conv2d(2, 3, 3, rng=1), Flatten(), Dense(48, 3, rng=2))
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        check_model_gradient(model, image_batch(), labels())
+
+    def test_conv_stride_padding(self):
+        net = Sequential(
+            Conv2d(2, 2, 3, stride=2, padding=1, rng=1),
+            Flatten(),
+            Dense(2 * 3 * 3, 3, rng=2),
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        check_model_gradient(model, image_batch(), labels())
+
+    def test_conv_no_bias(self):
+        net = Sequential(
+            Conv2d(1, 2, 2, bias=False, rng=1), Flatten(),
+            Dense(2 * 5 * 5, 2, rng=2),
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        check_model_gradient(
+            model, RNG.normal(size=(3, 1, 6, 6)), labels(3, 2)
+        )
+
+
+class TestPoolingGrad:
+    def test_maxpool(self):
+        net = Sequential(
+            Conv2d(2, 2, 3, padding=1, rng=1), MaxPool2d(2), Flatten(),
+            Dense(2 * 3 * 3, 3, rng=2),
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        check_model_gradient(model, image_batch(), labels())
+
+    def test_avgpool(self):
+        net = Sequential(
+            Conv2d(2, 2, 3, padding=1, rng=1), AvgPool2d(2), Flatten(),
+            Dense(2 * 3 * 3, 3, rng=2),
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        check_model_gradient(model, image_batch(), labels())
+
+    def test_global_avgpool(self):
+        net = Sequential(
+            Conv2d(2, 4, 3, padding=1, rng=1), GlobalAvgPool2d(),
+            Dense(4, 3, rng=2),
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        check_model_gradient(model, image_batch(), labels())
+
+    def test_overlapping_maxpool(self):
+        net = Sequential(MaxPool2d(3, stride=1), Flatten(),
+                         Dense(2 * 4 * 4, 2, rng=2))
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        check_model_gradient(model, image_batch(3, 2, 6), labels(3, 2))
+
+
+class TestActivationGrads:
+    @pytest.mark.parametrize(
+        "activation", [ReLU, Sigmoid, Tanh, lambda: LeakyReLU(0.1)]
+    )
+    def test_activation(self, activation):
+        net = Sequential(Dense(4, 6, rng=1), activation(), Dense(6, 3, rng=2))
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        # Shift inputs away from ReLU's kink to keep finite diffs clean.
+        x = RNG.normal(size=(5, 4)) + 0.05
+        check_model_gradient(model, x, labels(5))
+
+
+class TestBatchNormGrad:
+    def test_batchnorm2d(self):
+        net = Sequential(
+            Conv2d(2, 3, 3, padding=1, rng=1), BatchNorm2d(3), ReLU(),
+            Flatten(), Dense(3 * 6 * 6, 3, rng=2),
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        check_model_gradient(model, image_batch(), labels(), tol=5e-4)
+
+    def test_batchnorm1d(self):
+        net = Sequential(Dense(4, 6, rng=1), BatchNorm1d(6), Dense(6, 3, rng=2))
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        check_model_gradient(model, RNG.normal(size=(8, 4)), labels(8),
+                             tol=5e-4)

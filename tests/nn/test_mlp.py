@@ -1,0 +1,53 @@
+"""Tests for the MLP builder."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models.mlp import make_mlp
+
+RNG = np.random.default_rng(0)
+
+
+class TestMlp:
+    def test_output_shape(self):
+        model = make_mlp(12, (16, 8), 4, rng=0)
+        out = model.predict(RNG.normal(size=(5, 12)))
+        assert out.shape == (5, 4)
+
+    def test_no_hidden_is_logistic(self):
+        model = make_mlp(6, (), 3, rng=0)
+        assert model.num_params == 6 * 3 + 3
+
+    def test_tanh_activation(self):
+        model = make_mlp(4, (8,), 2, activation="tanh", rng=0)
+        grad, loss = model.gradient(
+            RNG.normal(size=(6, 4)), RNG.integers(0, 2, 6)
+        )
+        assert np.isfinite(grad).all()
+
+    def test_dropout_layers_present(self):
+        from repro.nn.dropout import Dropout
+
+        model = make_mlp(4, (8, 8), 2, dropout=0.2, rng=0)
+        dropouts = [
+            m for m in model.module.modules() if isinstance(m, Dropout)
+        ]
+        assert len(dropouts) == 2
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError, match="activation"):
+            make_mlp(4, (8,), 2, activation="gelu")
+
+    def test_learns_xor_like_problem(self):
+        """A hidden layer is genuinely used: solves a non-linear task."""
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = ((x[:, 0] * x[:, 1]) > 0).astype(int)
+        model = make_mlp(2, (16,), 2, rng=2)
+        params = model.get_flat_params()
+        for _ in range(600):
+            idx = rng.integers(0, 400, 32)
+            grad, _ = model.gradient(x[idx], y[idx], params)
+            params -= 0.3 * grad
+        model.set_flat_params(params)
+        assert model.accuracy(x, y) > 0.9

@@ -1,0 +1,108 @@
+"""Tests for the Module base system."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, ReLU, Sequential
+from repro.nn.module import Module, Parameter
+
+
+class TestParameter:
+    def test_grad_allocated_zero(self):
+        param = Parameter(np.ones((2, 3)))
+        assert param.grad.shape == (2, 3)
+        assert not param.grad.any()
+
+    def test_casts_to_float64(self):
+        param = Parameter(np.array([1, 2], dtype=np.int32))
+        assert param.data.dtype == np.float64
+
+    def test_shape_and_size(self):
+        param = Parameter(np.zeros((4, 5)))
+        assert param.shape == (4, 5)
+        assert param.size == 20
+
+
+class TestRegistration:
+    def test_parameters_collected_in_order(self):
+        layer = Dense(3, 2, rng=0)
+        params = layer.parameters()
+        assert [p.name for p in params] == ["weight", "bias"]
+
+    def test_nested_modules_collected(self):
+        net = Sequential(Dense(3, 4, rng=0), ReLU(), Dense(4, 2, rng=1))
+        assert len(net.parameters()) == 4
+        assert len(net.modules()) >= 4  # container + layers
+
+    def test_no_bias_variant(self):
+        layer = Dense(3, 2, bias=False, rng=0)
+        assert len(layer.parameters()) == 1
+
+
+class TestTrainEval:
+    def test_mode_propagates(self):
+        net = Sequential(Dense(3, 3, rng=0), ReLU())
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+
+class TestFlatParams:
+    def test_roundtrip(self):
+        net = Sequential(Dense(3, 4, rng=0), Dense(4, 2, rng=1))
+        flat = net.get_flat_params()
+        assert flat.size == net.num_params() == (3 * 4 + 4) + (4 * 2 + 2)
+        net.set_flat_params(np.zeros_like(flat))
+        assert not net.get_flat_params().any()
+        net.set_flat_params(flat)
+        assert np.array_equal(net.get_flat_params(), flat)
+
+    def test_set_copies_data(self):
+        layer = Dense(2, 2, rng=0)
+        source = np.arange(6.0)
+        layer.set_flat_params(source)
+        source[0] = 99.0
+        assert layer.get_flat_params()[0] == 0.0
+
+    def test_wrong_size_raises(self):
+        layer = Dense(2, 2, rng=0)
+        with pytest.raises(ValueError):
+            layer.set_flat_params(np.zeros(3))
+
+    def test_zero_grad(self):
+        layer = Dense(2, 2, rng=0)
+        x = np.ones((4, 2))
+        layer.backward_input = layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        assert layer.get_flat_grads().any()
+        layer.zero_grad()
+        assert not layer.get_flat_grads().any()
+
+
+class TestSequential:
+    def test_forward_composition(self):
+        first = Dense(2, 3, rng=0)
+        second = Dense(3, 1, rng=1)
+        net = Sequential(first, second)
+        x = np.random.default_rng(0).normal(size=(5, 2))
+        expected = second.forward(first.forward(x))
+        assert np.allclose(net.forward(x), expected)
+
+    def test_len_and_getitem(self):
+        net = Sequential(Dense(2, 2, rng=0), ReLU())
+        assert len(net) == 2
+        assert isinstance(net[1], ReLU)
+
+    def test_append_registers_params(self):
+        net = Sequential(Dense(2, 2, rng=0))
+        before = len(net.parameters())
+        net.append(Dense(2, 2, rng=1))
+        assert len(net.parameters()) == before + 2
+
+    def test_not_implemented_on_base(self):
+        module = Module()
+        with pytest.raises(NotImplementedError):
+            module.forward(np.zeros(1))
+        with pytest.raises(NotImplementedError):
+            module.backward(np.zeros(1))

@@ -1,0 +1,108 @@
+"""Tests for centralized optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import NAG, SGD, Adam, PolyakMomentum
+
+
+def quadratic_grad(params):
+    """Gradient of 0.5 * ||params - target||^2."""
+    return params - TARGET
+
+
+TARGET = np.array([1.0, -2.0, 3.0])
+
+
+def run_steps(optimizer, steps=200, start=None):
+    params = np.zeros(3) if start is None else start.copy()
+    for _ in range(steps):
+        params = optimizer.step(params, quadratic_grad(params))
+    return params
+
+
+class TestSGD:
+    def test_single_step(self):
+        out = SGD(lr=0.1).step(np.zeros(3), np.ones(3))
+        assert np.allclose(out, -0.1)
+
+    def test_converges_on_quadratic(self):
+        assert np.allclose(run_steps(SGD(lr=0.1)), TARGET, atol=1e-6)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0)
+
+
+class TestPolyakMomentum:
+    def test_converges(self):
+        out = run_steps(PolyakMomentum(lr=0.05, gamma=0.8), steps=400)
+        assert np.allclose(out, TARGET, atol=1e-5)
+
+    def test_gamma_zero_equals_sgd(self):
+        a = run_steps(PolyakMomentum(lr=0.1, gamma=0.0), steps=10)
+        b = run_steps(SGD(lr=0.1), steps=10)
+        assert np.allclose(a, b)
+
+    def test_reset_clears_buffer(self):
+        opt = PolyakMomentum(lr=0.1, gamma=0.9)
+        opt.step(np.zeros(3), np.ones(3))
+        opt.reset()
+        assert opt._m is None
+
+    def test_faster_than_sgd_on_illconditioned(self):
+        """Momentum accelerates: fewer steps to a fixed accuracy."""
+        scales = np.array([1.0, 0.05, 0.02])
+
+        def grad(params):
+            return scales * params
+
+        def distance_after(opt, steps):
+            params = np.ones(3)
+            for _ in range(steps):
+                params = opt.step(params, grad(params))
+            return np.linalg.norm(params)
+
+        assert distance_after(
+            PolyakMomentum(lr=0.5, gamma=0.9), 100
+        ) < distance_after(SGD(lr=0.5), 100)
+
+
+class TestNAG:
+    def test_converges(self):
+        out = run_steps(NAG(lr=0.05, gamma=0.8), steps=400)
+        assert np.allclose(out, TARGET, atol=1e-5)
+
+    def test_matches_hieradmo_worker_update(self):
+        """NAG.step is HierAdMo's worker update (Alg. 1 lines 5-6)."""
+        opt = NAG(lr=0.1, gamma=0.5)
+        x = np.array([1.0, 2.0])
+        y_prev = x.copy()
+        for _ in range(5):
+            grad = quadratic_grad(np.resize(x, 3))[:2]
+            # Paper form.
+            y_new = x - 0.1 * grad
+            expected = y_new + 0.5 * (y_new - y_prev)
+            x_opt = opt.step(x, grad)
+            assert np.allclose(x_opt, expected)
+            x, y_prev = expected, y_new
+
+
+class TestAdam:
+    def test_converges(self):
+        out = run_steps(Adam(lr=0.1), steps=600)
+        assert np.allclose(out, TARGET, atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, |first step| == lr for any gradient scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            opt = Adam(lr=0.1)
+            out = opt.step(np.zeros(1), np.array([scale]))
+            assert abs(out[0]) == pytest.approx(0.1, rel=1e-4)
+
+    def test_reset(self):
+        opt = Adam()
+        opt.step(np.zeros(2), np.ones(2))
+        opt.reset()
+        assert opt._t == 0
+        assert opt._m is None

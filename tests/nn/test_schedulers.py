@@ -1,0 +1,66 @@
+"""Tests for learning-rate schedules."""
+
+import pytest
+
+from repro.nn.schedulers import (
+    ConstantLR,
+    CosineAnnealingLR,
+    StepDecayLR,
+    WarmupLR,
+)
+
+
+class TestConstant:
+    def test_always_base(self):
+        schedule = ConstantLR(0.05)
+        assert schedule(0) == schedule(1000) == 0.05
+
+
+class TestStepDecay:
+    def test_decay_points(self):
+        schedule = StepDecayLR(1.0, step_size=10, factor=0.1)
+        assert schedule(0) == 1.0
+        assert schedule(9) == 1.0
+        assert schedule(10) == pytest.approx(0.1)
+        assert schedule(25) == pytest.approx(0.01)
+
+    def test_negative_t_raises(self):
+        with pytest.raises(ValueError):
+            StepDecayLR(1.0, 10)(-1)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        schedule = CosineAnnealingLR(1.0, total=100, min_lr=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(100) == pytest.approx(0.1)
+        assert schedule(500) == pytest.approx(0.1)  # clamped past total
+
+    def test_midpoint(self):
+        schedule = CosineAnnealingLR(1.0, total=100)
+        assert schedule(50) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        schedule = CosineAnnealingLR(1.0, total=50)
+        values = [schedule(t) for t in range(51)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_invalid_min_lr(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(0.1, 10, min_lr=0.5)
+
+
+class TestWarmup:
+    def test_ramps_linearly(self):
+        schedule = WarmupLR(10, ConstantLR(1.0))
+        assert schedule(0) == pytest.approx(0.1)
+        assert schedule(4) == pytest.approx(0.5)
+        assert schedule(9) == pytest.approx(1.0)
+
+    def test_delegates_after_warmup(self):
+        schedule = WarmupLR(5, StepDecayLR(1.0, step_size=10, factor=0.1))
+        assert schedule(10) == pytest.approx(0.1)
+
+    def test_negative_t_raises(self):
+        with pytest.raises(ValueError):
+            WarmupLR(5, ConstantLR(1.0))(-1)

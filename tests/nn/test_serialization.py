@@ -1,0 +1,51 @@
+"""Tests for model weight checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d, Dense, ReLU, Sequential
+from repro.nn.models import make_cnn
+from repro.nn.serialization import load_weights, save_weights
+
+
+def small_net(rng=0):
+    return Sequential(Dense(4, 8, rng=rng), ReLU(), Dense(8, 3, rng=rng))
+
+
+class TestRoundtrip:
+    def test_weights_roundtrip(self, tmp_path):
+        source = small_net(rng=1)
+        path = tmp_path / "model.npz"
+        save_weights(source, path)
+        target = small_net(rng=2)  # different init
+        load_weights(target, path)
+        assert np.array_equal(
+            source.get_flat_params(), target.get_flat_params()
+        )
+
+    def test_predictions_identical_after_load(self, tmp_path):
+        model = make_cnn(1, 8, 5, width=4, hidden=8, rng=3)
+        path = tmp_path / "cnn.npz"
+        save_weights(model.module, path)
+        clone = make_cnn(1, 8, 5, width=4, hidden=8, rng=99)
+        load_weights(clone.module, path)
+        x = np.random.default_rng(0).normal(size=(3, 1, 8, 8))
+        assert np.allclose(model.predict(x), clone.predict(x))
+
+    def test_batchnorm_buffers_roundtrip(self, tmp_path):
+        net = Sequential(Dense(4, 6, rng=0), BatchNorm1d(6))
+        net.forward(np.random.default_rng(1).normal(size=(32, 4)))
+        path = tmp_path / "bn.npz"
+        save_weights(net, path)
+        clone = Sequential(Dense(4, 6, rng=9), BatchNorm1d(6))
+        load_weights(clone, path)
+        assert np.array_equal(
+            net.layers[1].running_mean, clone.layers[1].running_mean
+        )
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_weights(small_net(), path)
+        other = Sequential(Dense(4, 9, rng=0), Dense(9, 3, rng=0))
+        with pytest.raises(ValueError, match="architecture mismatch"):
+            load_weights(other, path)

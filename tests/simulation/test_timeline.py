@@ -1,0 +1,115 @@
+"""Tests for the trace-driven timelines (Fig. 2 h/l machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import TrainingHistory
+from repro.simulation import (
+    DEVICE_PRESETS,
+    ThreeTierTimeline,
+    TwoTierTimeline,
+    time_to_accuracy,
+    worker_device_pool,
+)
+from repro.topology import Topology
+
+PAYLOAD = 4e6  # 4 MB model: large enough that WAN serialization matters
+
+
+def three_tier(payload_multiplier=1.0):
+    topo = Topology.uniform(2, 2, 100)
+    return ThreeTierTimeline(
+        topo,
+        worker_device_pool(4),
+        PAYLOAD,
+        payload_multiplier=payload_multiplier,
+    )
+
+
+def two_tier(payload_multiplier=1.0):
+    return TwoTierTimeline(
+        4, worker_device_pool(4), PAYLOAD,
+        payload_multiplier=payload_multiplier,
+    )
+
+
+class TestThreeTierTimeline:
+    def test_cumulative_and_monotone(self):
+        times = three_tier().simulate(40, tau=5, pi=2, rng=0)
+        assert times.shape == (41,)
+        assert times[0] == 0.0
+        assert (np.diff(times) > 0).all()
+
+    def test_aggregation_adds_time(self):
+        """Iterations ending an edge round take longer than plain ones."""
+        times = three_tier().simulate(40, tau=10, pi=2, rng=0)
+        deltas = np.diff(times)
+        plain = deltas[0:9].mean()
+        sync = deltas[9]  # iteration 10 includes the edge round
+        assert sync > plain
+
+    def test_cloud_round_costlier_than_edge_round(self):
+        times = three_tier().simulate(40, tau=10, pi=2, rng=0)
+        deltas = np.diff(times)
+        edge_only = deltas[9]  # t=10: edge round
+        with_cloud = deltas[19]  # t=20: edge + cloud round
+        assert with_cloud > edge_only
+
+    def test_deterministic(self):
+        a = three_tier().simulate(20, tau=5, pi=2, rng=7)
+        b = three_tier().simulate(20, tau=5, pi=2, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_payload_multiplier_slows_rounds(self):
+        lean = three_tier(1.0).simulate(20, tau=5, pi=2, rng=0)
+        heavy = three_tier(4.0).simulate(20, tau=5, pi=2, rng=0)
+        assert heavy[-1] > lean[-1]
+
+    def test_device_count_validation(self):
+        topo = Topology.uniform(2, 2, 10)
+        with pytest.raises(ValueError):
+            ThreeTierTimeline(topo, worker_device_pool(3), PAYLOAD)
+
+
+class TestTwoTierTimeline:
+    def test_monotone(self):
+        times = two_tier().simulate(30, tau=10, rng=0)
+        assert (np.diff(times) > 0).all()
+
+    def test_wan_rounds_cost_more_than_lan_rounds(self):
+        """The paper's core motivation: two-tier pays WAN every round."""
+        three = three_tier().simulate(40, tau=10, pi=2, rng=0)
+        two = two_tier().simulate(40, tau=10, rng=0)
+        # Same tau: two-tier's aggregation at t=10 crosses the Internet.
+        three_round = np.diff(three)[9]
+        two_round = np.diff(two)[9]
+        assert two_round > three_round
+
+    def test_overall_three_tier_faster_at_matched_schedule(self):
+        """τ=10, π=2 three-tier vs τ=20 two-tier (the paper's pairing):
+        the three-tier run finishes the same T sooner."""
+        three = three_tier().simulate(100, tau=10, pi=2, rng=0)
+        two = two_tier().simulate(100, tau=20, rng=0)
+        assert three[-1] < two[-1]
+
+
+class TestTimeToAccuracy:
+    def history(self):
+        h = TrainingHistory("x")
+        for t, acc in [(0, 0.1), (10, 0.6), (20, 0.97)]:
+            h.record_eval(t, acc, 0.1, 0.1)
+        return h
+
+    def test_lookup(self):
+        times = three_tier().simulate(20, tau=5, pi=2, rng=0)
+        seconds = time_to_accuracy(self.history(), times, 0.95)
+        assert seconds == pytest.approx(times[20])
+
+    def test_unreached_returns_none(self):
+        times = three_tier().simulate(20, tau=5, pi=2, rng=0)
+        assert time_to_accuracy(self.history(), times, 0.99) is None
+
+    def test_out_of_range_raises(self):
+        times = three_tier().simulate(10, tau=5, pi=2, rng=0)
+        with pytest.raises(ValueError):
+            time_to_accuracy(self.history(), times, 0.95)

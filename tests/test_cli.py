@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = [
+    "--samples", "300", "--iterations", "8", "--tau", "2", "--pi", "2",
+    "--model", "logistic",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "FedProx"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "HierAdMo" in out
+        assert "Logistic/MNIST" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--algorithm", "HierAdMo"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "final accuracy" in out
+
+    def test_run_with_save(self, tmp_path, capsys):
+        target = tmp_path / "history.json"
+        code = main(
+            ["run", "--algorithm", "FedAvg", "--save", str(target)] + FAST
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["algorithm"] == "FedAvg"
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--combo", "Logistic/MNIST"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "FedAvg" in out
+
+    def test_adaptive(self, capsys):
+        assert main(["adaptive", "--gamma", "0.5"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "best fixed gamma_l" in out
+
+    def test_timing(self, capsys):
+        assert main(["timing", "--target", "0.05"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "HierAdMo" in out

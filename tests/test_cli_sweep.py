@@ -1,0 +1,54 @@
+"""Tests for the CLI sweep/report commands."""
+
+import pytest
+
+from repro.cli import main
+
+FAST = [
+    "--samples", "300", "--iterations", "6", "--tau", "2", "--pi", "2",
+    "--model", "logistic",
+]
+
+
+class TestSweepCommand:
+    def test_grid_runs(self, capsys):
+        code = main(
+            ["sweep", "--algorithms", "FedAvg", "--grid", "eta=0.01,0.05"]
+            + FAST
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eta=0.01" in out
+        assert "eta=0.05" in out
+
+    def test_integer_values_parsed(self, capsys):
+        code = main(
+            ["sweep", "--algorithms", "FedAvg", "--grid", "tau=2,3"] + FAST
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tau=2" in out and "tau=3" in out
+
+    def test_bad_grid_entry_rejected(self):
+        with pytest.raises(SystemExit, match="bad --grid"):
+            main(["sweep", "--grid", "eta:0.1"] + FAST)
+
+    def test_multi_field_grid(self, capsys):
+        code = main(
+            ["sweep", "--algorithms", "FedAvg",
+             "--grid", "eta=0.02", "tau=2,3"] + FAST
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("FedAvg") == 2
+
+
+class TestReportCommand:
+    def test_theory_only_report(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        code = main(
+            ["report", "--scale", "quick", "--sections", "theory",
+             "--out", str(out_file)]
+        )
+        assert code == 0
+        assert "Theorem 5" in out_file.read_text()

@@ -1,0 +1,145 @@
+"""Tests for compression operators and quantized hierarchical FL."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.compressed import QuantizedHierFAVG
+from repro.algorithms.hierarchical import HierFAVG
+from repro.compression import (
+    NoCompression,
+    TopKSparsifier,
+    UniformQuantizer,
+)
+
+from tests.conftest import build_tiny_federation
+
+
+class TestNoCompression:
+    def test_identity_and_payload(self):
+        vector = np.arange(10.0)
+        result = NoCompression().compress(vector)
+        assert np.array_equal(result.vector, vector)
+        assert result.payload_bytes == 80.0
+
+    def test_returns_copy(self):
+        vector = np.ones(4)
+        result = NoCompression().compress(vector)
+        result.vector[0] = 99
+        assert vector[0] == 1.0
+
+
+class TestUniformQuantizer:
+    def test_payload_scales_with_bits(self):
+        vector = np.random.default_rng(0).normal(size=1000)
+        payload_4 = UniformQuantizer(4, rng=0).compress(vector).payload_bytes
+        payload_8 = UniformQuantizer(8, rng=0).compress(vector).payload_bytes
+        assert payload_8 == pytest.approx(2 * payload_4 - 16)
+        assert payload_8 < vector.size * 8  # beats full precision
+
+    def test_range_preserved(self):
+        vector = np.random.default_rng(1).normal(size=500)
+        restored = UniformQuantizer(8, rng=2).compress(vector).vector
+        assert restored.min() >= vector.min() - 1e-9
+        assert restored.max() <= vector.max() + 1e-9
+
+    def test_unbiased_rounding(self):
+        """Stochastic rounding: mean reconstruction error ~ 0."""
+        vector = np.full(20000, 0.3)
+        vector[0], vector[1] = 0.0, 1.0  # pin the quantizer range
+        restored = UniformQuantizer(2, rng=3).compress(vector).vector
+        assert restored[2:].mean() == pytest.approx(0.3, abs=5e-3)
+
+    def test_error_shrinks_with_bits(self):
+        vector = np.random.default_rng(4).normal(size=2000)
+
+        def error(bits):
+            restored = UniformQuantizer(bits, rng=5).compress(vector).vector
+            return np.abs(restored - vector).mean()
+
+        assert error(12) < error(6) < error(2)
+
+    def test_constant_vector(self):
+        result = UniformQuantizer(8, rng=0).compress(np.full(10, 3.0))
+        assert np.allclose(result.vector, 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(0)
+        with pytest.raises(ValueError):
+            UniformQuantizer(32)
+
+
+class TestTopK:
+    def test_keeps_largest(self):
+        vector = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+        result = TopKSparsifier(0.4).compress(vector)
+        assert np.array_equal(
+            result.vector, [0.0, -5.0, 0.0, 3.0, 0.0]
+        )
+        assert result.payload_bytes == 24.0  # 2 coords * 12 bytes
+
+    def test_fraction_one_is_identity(self):
+        vector = np.arange(6.0)
+        result = TopKSparsifier(1.0).compress(vector)
+        assert np.array_equal(result.vector, vector)
+
+    def test_at_least_one_kept(self):
+        result = TopKSparsifier(0.001).compress(np.arange(10.0))
+        assert np.count_nonzero(result.vector) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopKSparsifier(0.0)
+        with pytest.raises(ValueError):
+            TopKSparsifier(1.5)
+
+
+class TestQuantizedHierFAVG:
+    def test_no_compression_matches_hierfavg(self, federation_factory):
+        quantized = QuantizedHierFAVG(
+            federation_factory(), eta=0.05, tau=3, pi=2,
+            compressor=NoCompression(),
+        ).run(12, eval_every=6)
+        plain = HierFAVG(
+            federation_factory(), eta=0.05, tau=3, pi=2
+        ).run(12, eval_every=6)
+        assert np.allclose(
+            quantized.test_loss, plain.test_loss, atol=1e-10
+        )
+
+    def test_payload_accounting(self, tiny_federation):
+        algo = QuantizedHierFAVG(
+            tiny_federation, eta=0.05, tau=3, pi=2,
+            compressor=UniformQuantizer(8, rng=0),
+        )
+        algo.run(6, eval_every=6)
+        # 2 edge rounds x 4 workers + 1 cloud round x 2 edges = 10 uploads.
+        dim = tiny_federation.dim
+        expected = 10 * (dim + 16)  # 8 bits/coordinate + scale words
+        assert algo.uplink_payload_bytes == pytest.approx(expected)
+
+    def test_quantized_still_learns(self, tiny_federation):
+        history = QuantizedHierFAVG(
+            tiny_federation, eta=0.05, tau=5, pi=2,
+            compressor=UniformQuantizer(8, rng=0),
+        ).run(80, eval_every=20)
+        assert history.final_accuracy > 0.5
+
+    def test_topk_still_learns(self, tiny_federation):
+        history = QuantizedHierFAVG(
+            tiny_federation, eta=0.05, tau=5, pi=2,
+            compressor=TopKSparsifier(0.25),
+        ).run(80, eval_every=20)
+        assert history.final_accuracy > 0.4
+
+    def test_compression_saves_bytes(self, federation_factory):
+        def payload(compressor):
+            algo = QuantizedHierFAVG(
+                federation_factory(), eta=0.05, tau=5, pi=2,
+                compressor=compressor,
+            )
+            algo.run(20, eval_every=20)
+            return algo.uplink_payload_bytes
+
+        assert payload(UniformQuantizer(4, rng=0)) < payload(NoCompression())
+        assert payload(TopKSparsifier(0.1)) < payload(NoCompression())

@@ -1,0 +1,79 @@
+"""Tests for the Theorem-5 adaptation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    adaptive_gamma_moments,
+    fixed_gamma_moments,
+    moments_for_distribution,
+    theorem5_gap_ratio,
+)
+
+
+class TestClosedFormMoments:
+    def test_paper_values_at_cap_one(self):
+        """Appendix E: E[γℓ] = 1/4 and Var[γℓ] = 5/48 (cap = 1)."""
+        mean, variance = adaptive_gamma_moments(cap=1.0)
+        assert mean == pytest.approx(1 / 4)
+        assert variance == pytest.approx(5 / 48)
+
+    def test_fixed_moments(self):
+        mean, variance = fixed_gamma_moments()
+        assert mean == 0.5
+        assert variance == pytest.approx(1 / 12)
+
+    def test_cap_099_close_to_paper(self):
+        mean, variance = adaptive_gamma_moments(cap=0.99)
+        assert mean == pytest.approx(1 / 4, abs=1e-3)
+        assert variance == pytest.approx(5 / 48, abs=1e-2)
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            adaptive_gamma_moments(cap=0.0)
+        with pytest.raises(ValueError):
+            adaptive_gamma_moments(cap=1.5)
+
+    def test_monte_carlo_agreement(self):
+        """Closed form vs simulation of clip(cosθ, 0, cap)."""
+        rng = np.random.default_rng(0)
+        cos = rng.uniform(-1, 1, size=200_000)
+        gammas = np.clip(cos, 0.0, 0.99)
+        gammas[cos <= 0] = 0.0
+        mean, variance = adaptive_gamma_moments(cap=0.99)
+        assert gammas.mean() == pytest.approx(mean, abs=3e-3)
+        assert gammas.var() == pytest.approx(variance, abs=3e-3)
+
+
+class TestQuadratureMoments:
+    def test_matches_closed_form_for_uniform(self):
+        mean, variance = moments_for_distribution(
+            lambda c: 0.5, support=(-1.0, 1.0), cap=0.99
+        )
+        closed_mean, closed_var = adaptive_gamma_moments(cap=0.99)
+        assert mean == pytest.approx(closed_mean, rel=1e-6)
+        assert variance == pytest.approx(closed_var, rel=1e-5)
+
+    def test_other_distribution_still_tighter(self):
+        """The paper: "the same proof process holds for other
+        distributions" — check a triangular cosθ density too."""
+        def triangular(c):
+            return (1.0 - abs(c))  # peak at 0, integrates to 1 on [-1,1]
+
+        mean, _ = moments_for_distribution(triangular, cap=0.99)
+        fixed_mean, _ = fixed_gamma_moments()
+        assert mean < fixed_mean
+
+    def test_non_normalized_density_rejected(self):
+        with pytest.raises(ValueError, match="integrates"):
+            moments_for_distribution(lambda c: 1.0, support=(-1.0, 1.0))
+
+
+class TestGapRatio:
+    def test_ratio_is_one_half(self):
+        """E[adaptive]/E[fixed] = (1/4)/(1/2) = 1/2 at cap 1."""
+        assert theorem5_gap_ratio(cap=1.0) == pytest.approx(0.5)
+
+    def test_ratio_below_one(self):
+        """The tighter-bound claim of Theorem 5."""
+        assert theorem5_gap_ratio() < 1.0

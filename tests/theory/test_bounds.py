@@ -1,0 +1,102 @@
+"""Tests for the Theorem-4 convergence bound."""
+
+import numpy as np
+import pytest
+
+from repro.theory import alpha_constant, theorem4_bound
+
+
+def bound_kwargs(**overrides):
+    base = dict(
+        total_iterations=1000,
+        tau=10,
+        pi=2,
+        eta=0.01,
+        beta=1.0,
+        gamma=0.5,
+        gamma_edge=0.5,
+        rho=1.0,
+        mu=0.5,
+        delta_edges=np.array([0.05, 0.1]),
+        delta_global=0.075,
+        edge_weights=np.array([0.5, 0.5]),
+        omega=20.0,
+        sigma=1.0,
+        epsilon=1.0,
+    )
+    base.update(overrides)
+    return base
+
+
+class TestAlpha:
+    def test_positive_at_small_mu(self):
+        assert alpha_constant(0.01, 1.0, 0.5, 0.1) > 0
+
+    def test_decreases_with_mu(self):
+        a = alpha_constant(0.01, 1.0, 0.5, 0.1)
+        b = alpha_constant(0.01, 1.0, 0.5, 2.0)
+        assert b < a
+
+    def test_mu_zero_closed_form(self):
+        # alpha = eta(gamma+1)(1 - beta*eta*(gamma+1)/2) at mu=0.
+        eta, beta, gamma = 0.01, 1.0, 0.5
+        expected = eta * 1.5 * (1 - beta * eta * 1.5 / 2)
+        assert alpha_constant(eta, beta, gamma, 0.0) == pytest.approx(expected)
+
+
+class TestTheorem4:
+    def test_bound_positive_and_finite(self):
+        result = theorem4_bound(**bound_kwargs())
+        assert result.bound > 0
+        assert np.isfinite(result.bound)
+        assert result.alpha > 0
+        assert result.j_value > 0
+
+    def test_bound_shrinks_with_t(self):
+        """The O(1/T) rate: doubling T halves the bound."""
+        small = theorem4_bound(**bound_kwargs(total_iterations=1000))
+        large = theorem4_bound(**bound_kwargs(total_iterations=2000))
+        assert large.bound == pytest.approx(small.bound / 2)
+
+    def test_bound_grows_with_tau(self):
+        """Theorem 4 discussion: larger τ loosens the bound."""
+        a = theorem4_bound(**bound_kwargs(tau=5, total_iterations=1000))
+        b = theorem4_bound(**bound_kwargs(tau=10, total_iterations=1000))
+        assert b.bound > a.bound
+
+    def test_bound_grows_with_pi(self):
+        # The π effect is driven by the exponential h(τπ, δ) term, so it
+        # needs a non-trivial cloud-level diversity δ to show through the
+        # 1/(τπ) normalization (matching the paper's discussion).
+        a = theorem4_bound(**bound_kwargs(pi=2, delta_global=2.0))
+        b = theorem4_bound(**bound_kwargs(pi=10, delta_global=2.0))
+        assert b.bound > a.bound
+
+    def test_adaptive_expectation_tightens_bound(self):
+        """Theorem 5 at the bound level: γℓ=1/4 beats γℓ=1/2."""
+        adaptive = theorem4_bound(**bound_kwargs(gamma_edge=0.25))
+        fixed = theorem4_bound(**bound_kwargs(gamma_edge=0.5))
+        assert adaptive.bound < fixed.bound
+
+    def test_step_size_condition_enforced(self):
+        with pytest.raises(ValueError, match="condition \\(1\\)"):
+            theorem4_bound(**bound_kwargs(eta=1.0, beta=2.0))
+
+    def test_condition_21_enforced(self):
+        """Huge diversity at tiny epsilon must violate condition (2.1)."""
+        with pytest.raises(ValueError, match="condition \\(2.1\\)"):
+            theorem4_bound(
+                **bound_kwargs(
+                    delta_edges=np.array([50.0, 50.0]),
+                    delta_global=50.0,
+                    epsilon=0.01,
+                )
+            )
+
+    def test_t_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="multiple"):
+            theorem4_bound(**bound_kwargs(total_iterations=1001))
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            theorem4_bound(**bound_kwargs(mu=50.0))

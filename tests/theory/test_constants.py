@@ -1,0 +1,65 @@
+"""Tests for Appendix-A constants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import MomentumConstants
+
+hyper = dict(
+    eta=st.floats(min_value=1e-3, max_value=0.2),
+    beta=st.floats(min_value=0.1, max_value=10.0),
+    gamma=st.floats(min_value=0.05, max_value=0.95),
+)
+
+
+class TestRoots:
+    @given(**hyper)
+    @settings(max_examples=50, deadline=None)
+    def test_roots_satisfy_characteristic_polynomial(self, eta, beta, gamma):
+        c = MomentumConstants.from_hyperparameters(eta, beta, gamma)
+        base = 1 + eta * beta
+        for root in (c.A, c.B):
+            residual = gamma * root**2 - base * (1 + gamma) * root + base
+            assert residual == pytest.approx(0.0, abs=1e-6 * max(1, root**2))
+
+    @given(**hyper)
+    @settings(max_examples=50, deadline=None)
+    def test_ordering(self, eta, beta, gamma):
+        c = MomentumConstants.from_hyperparameters(eta, beta, gamma)
+        assert c.A > c.B > 0
+        assert c.gamma_a > 1.0  # dominant rate exceeds 1
+        assert 0 < c.gamma_b < 1.0  # decaying rate
+
+    @given(**hyper)
+    @settings(max_examples=50, deadline=None)
+    def test_identity_i_plus_j(self, eta, beta, gamma):
+        """The identity that pins down the eq.-17 parse: I + J = 1/(ηβ)."""
+        c = MomentumConstants.from_hyperparameters(eta, beta, gamma)
+        assert c.I + c.J == pytest.approx(1.0 / (eta * beta), rel=1e-8)
+
+    @given(**hyper)
+    @settings(max_examples=50, deadline=None)
+    def test_identity_u_plus_v(self, eta, beta, gamma):
+        c = MomentumConstants.from_hyperparameters(eta, beta, gamma)
+        assert c.U + c.V == pytest.approx(1.0, rel=1e-10)
+
+
+class TestValidation:
+    def test_gamma_zero_rejected(self):
+        with pytest.raises(ValueError):
+            MomentumConstants.from_hyperparameters(0.01, 1.0, 0.0)
+
+    def test_gamma_one_rejected(self):
+        with pytest.raises(ValueError):
+            MomentumConstants.from_hyperparameters(0.01, 1.0, 1.0)
+
+    def test_negative_eta_rejected(self):
+        with pytest.raises(ValueError):
+            MomentumConstants.from_hyperparameters(-0.01, 1.0, 0.5)
+
+    def test_known_values(self):
+        c = MomentumConstants.from_hyperparameters(0.01, 1.0, 0.5)
+        # gamma*A just above 1, gamma*B just below gamma.
+        assert 1.0 < c.gamma_a < 1.1
+        assert 0.45 < c.gamma_b < 0.55

@@ -1,0 +1,115 @@
+"""Tests for the Appendix-D descent tracker and Theorem-3 cloud gaps."""
+
+import numpy as np
+import pytest
+
+from repro.core import Federation
+from repro.data import Dataset
+from repro.nn.models import make_logistic_regression
+from repro.theory import estimate_smoothness
+from repro.theory.descent import descent_trace
+from repro.theory.virtual import cloud_virtual_gap_trace
+
+
+def small_federation(seed=0):
+    rng = np.random.default_rng(seed)
+    classes, features = 3, 5
+
+    def dataset(ds_seed):
+        ds_rng = np.random.default_rng(ds_seed)
+        return Dataset(
+            ds_rng.normal(size=(25, features)),
+            ds_rng.integers(0, classes, 25),
+            classes,
+        )
+
+    edges = [[dataset(1), dataset(2)], [dataset(3), dataset(4)]]
+    model = make_logistic_regression(features, classes, rng=5)
+    return Federation(model, edges, edges[0][0], seed=seed)
+
+
+class TestDescentTrace:
+    def test_shapes(self):
+        fed = small_federation()
+        trace = descent_trace(fed, eta=0.05, gamma=0.3, steps=20)
+        assert trace.losses.shape == (21,)
+        assert trace.grad_norms.shape == (20,)
+        assert trace.mu_observed >= 0
+
+    def test_loss_decreases_overall(self):
+        fed = small_federation()
+        trace = descent_trace(fed, eta=0.05, gamma=0.3, steps=60)
+        assert trace.losses[-1] < trace.losses[0]
+
+    def test_eq40_descent_inequality(self):
+        """Eq. (40) with measured β and the trajectory's own μ̂:
+        F(x(t)) − F(x(t+1)) ≥ α·‖∇F(x(t))‖² at every step."""
+        fed = small_federation(seed=2)
+        beta = estimate_smoothness(fed, num_points=6, radius=2.0, rng=0)
+        trace = descent_trace(fed, eta=0.02, gamma=0.3, steps=40)
+        assert trace.alpha_bound_violations(beta) == 0
+
+    def test_gamma_zero_is_plain_gradient_descent(self):
+        """With γ=0 the decrease per step is the classic
+        η(1 − βη/2)‖∇F‖² smoothness bound (α at γ=0, μ=0)."""
+        fed = small_federation(seed=3)
+        beta = estimate_smoothness(fed, num_points=6, radius=2.0, rng=0)
+        trace = descent_trace(fed, eta=0.02, gamma=1e-9, steps=30)
+        assert trace.mu_observed < 1e-3
+        assert trace.alpha_bound_violations(beta) == 0
+
+    def test_validation(self):
+        fed = small_federation()
+        with pytest.raises(ValueError):
+            descent_trace(fed, eta=0.0, gamma=0.3, steps=5)
+        with pytest.raises(ValueError):
+            descent_trace(fed, eta=0.05, gamma=0.3, steps=0)
+
+
+class TestCloudVirtualGap:
+    def test_structure(self):
+        fed = small_federation()
+        trace = cloud_virtual_gap_trace(
+            fed, eta=0.05, gamma=0.5, tau=3, pi=2, num_cloud_intervals=2
+        )
+        assert len(trace.gaps) == 1
+        assert len(trace.gaps[0]) == 12
+        assert trace.offsets == list(range(1, 7)) * 2
+
+    def test_gap_resets_at_cloud_boundary(self):
+        fed = small_federation(seed=4)
+        trace = cloud_virtual_gap_trace(
+            fed, eta=0.05, gamma=0.5, tau=3, pi=2, num_cloud_intervals=2
+        )
+        end_of_first = trace.gaps[0][5]  # offset 6 (cloud sync there)
+        start_of_second = trace.gaps[0][6]  # offset 1
+        assert start_of_second < end_of_first
+
+    def test_edge_aggregation_shrinks_cloud_gap(self):
+        """Theorem 3's structure: within a cloud interval, the gap drop
+        at an edge boundary (heterogeneity averaged out at the edges)
+        keeps the final gap below an un-aggregated trajectory's."""
+        fed = small_federation(seed=5)
+        with_edges = cloud_virtual_gap_trace(
+            fed, eta=0.05, gamma=0.5, tau=3, pi=2, num_cloud_intervals=1
+        )
+        without_edges = cloud_virtual_gap_trace(
+            fed, eta=0.05, gamma=0.5, tau=6, pi=1, num_cloud_intervals=1
+        )
+        assert with_edges.gaps[0][-1] <= without_edges.gaps[0][-1] + 1e-9
+
+    def test_identical_data_zero_gap(self):
+        rng = np.random.default_rng(9)
+        base = Dataset(
+            rng.normal(size=(30, 5)), rng.integers(0, 3, 30), 3
+        )
+        clone = lambda: Dataset(base.x.copy(), base.y.copy(), 3)
+        fed = Federation(
+            make_logistic_regression(5, 3, rng=1),
+            [[clone(), clone()], [clone()]],
+            base,
+        )
+        trace = cloud_virtual_gap_trace(
+            fed, eta=0.05, gamma=0.5, tau=2, pi=2, num_cloud_intervals=1
+        )
+        assert max(trace.gaps[0]) == pytest.approx(0.0, abs=1e-10)

@@ -1,0 +1,104 @@
+"""Tests for empirical constant estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core import Federation
+from repro.data import Dataset
+from repro.nn.models import make_linear_regression, make_logistic_regression
+from repro.theory import (
+    estimate_gradient_diversity,
+    estimate_lipschitz,
+    estimate_mu,
+    estimate_smoothness,
+)
+
+
+def federation_with_data(datasets, features=4, classes=3, model=None):
+    test = datasets[0][0]
+    if model is None:
+        model = make_logistic_regression(features, classes, rng=1)
+    return Federation(model, datasets, test, batch_size=8, seed=0)
+
+
+def random_dataset(n, features=4, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        rng.normal(size=(n, features)), rng.integers(0, classes, n), classes
+    )
+
+
+class TestSmoothness:
+    def test_positive_finite(self):
+        fed = federation_with_data([[random_dataset(20)], [random_dataset(20, seed=1)]])
+        beta = estimate_smoothness(fed, num_points=4, rng=0)
+        assert 0 < beta < np.inf
+
+    def test_linear_regression_smoothness_is_constant(self):
+        """For MSE linear regression the Hessian is constant: the estimate
+        must be (nearly) radius-independent."""
+        ds = random_dataset(40)
+        model = make_linear_regression(4, 3, rng=1)
+        fed = Federation(model, [[ds]], ds, seed=0)
+        near = estimate_smoothness(fed, num_points=5, radius=0.1, rng=0)
+        far = estimate_smoothness(fed, num_points=5, radius=5.0, rng=0)
+        assert near == pytest.approx(far, rel=0.2)
+
+
+class TestLipschitz:
+    def test_positive(self):
+        fed = federation_with_data([[random_dataset(20)]])
+        assert estimate_lipschitz(fed, num_points=3, rng=0) > 0
+
+
+class TestDiversity:
+    def test_identical_data_zero_diversity(self):
+        """Workers with the same dataset have δ_{i,ℓ} = 0."""
+        ds = random_dataset(30)
+        same = Dataset(ds.x.copy(), ds.y.copy(), ds.num_classes)
+        fed = federation_with_data([[ds, same]])
+        workers, edges, global_delta = estimate_gradient_diversity(
+            fed, num_points=3, rng=0
+        )
+        assert np.allclose(workers, 0.0, atol=1e-9)
+        assert global_delta == pytest.approx(0.0, abs=1e-9)
+
+    def test_disjoint_data_positive_diversity(self):
+        a = random_dataset(30, seed=1)
+        b = random_dataset(30, seed=2)
+        fed = federation_with_data([[a, b]])
+        workers, edges, global_delta = estimate_gradient_diversity(
+            fed, num_points=3, rng=0
+        )
+        assert (workers > 0).all()
+        assert global_delta > 0
+
+    def test_weighted_aggregation_shapes(self):
+        fed = federation_with_data(
+            [[random_dataset(10, seed=1), random_dataset(30, seed=2)],
+             [random_dataset(20, seed=3)]]
+        )
+        workers, edges, global_delta = estimate_gradient_diversity(
+            fed, num_points=2, rng=0
+        )
+        assert workers.shape == (3,)
+        assert edges.shape == (2,)
+        assert 0 <= global_delta <= workers.max() + 1e-12
+
+
+class TestMu:
+    def test_max_ratio(self):
+        mu = estimate_mu(np.array([1.0, 4.0, 2.0]), np.array([2.0, 2.0, 2.0]))
+        assert mu == 2.0
+
+    def test_zero_grad_steps_skipped(self):
+        mu = estimate_mu(np.array([1.0, 9.0]), np.array([2.0, 0.0]))
+        assert mu == 0.5
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            estimate_mu(np.array([1.0]), np.array([0.0]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            estimate_mu(np.ones(3), np.ones(4))

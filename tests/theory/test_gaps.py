@@ -1,0 +1,121 @@
+"""Tests for the gap functions h, s, j (Theorems 1–4 discussion)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import MomentumConstants, h_gap, j_gap, s_gap
+
+CONSTS = MomentumConstants.from_hyperparameters(0.01, 1.0, 0.5)
+
+
+class TestHGap:
+    def test_zero_at_origin(self):
+        """The paper's check: h(0, δ) = 0."""
+        for gamma in (0.1, 0.5, 0.9):
+            c = MomentumConstants.from_hyperparameters(0.01, 2.0, gamma)
+            assert h_gap(0, 1.0, c) == pytest.approx(0.0, abs=1e-9)
+
+    def test_nonnegative_and_increasing(self):
+        """Eq. (39): h(x) >= 0, increasing with x."""
+        values = [h_gap(x, 1.0, CONSTS) for x in range(0, 60, 3)]
+        assert all(v >= 0 for v in values)
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_linear_in_delta(self):
+        assert h_gap(10, 2.0, CONSTS) == pytest.approx(
+            2.0 * h_gap(10, 1.0, CONSTS)
+        )
+
+    def test_zero_delta_zero_gap(self):
+        assert h_gap(25, 0.0, CONSTS) == 0.0
+
+    def test_negative_inputs_raise(self):
+        with pytest.raises(ValueError):
+            h_gap(-1, 1.0, CONSTS)
+        with pytest.raises(ValueError):
+            h_gap(1, -1.0, CONSTS)
+
+    @given(
+        st.floats(min_value=1e-3, max_value=0.1),
+        st.floats(min_value=0.5, max_value=5.0),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_property(self, eta, beta, gamma):
+        c = MomentumConstants.from_hyperparameters(eta, beta, gamma)
+        previous = 0.0
+        for x in (0, 1, 2, 5, 10, 20):
+            value = h_gap(x, 1.0, c)
+            assert value >= previous - 1e-9
+            previous = value
+
+
+class TestSGap:
+    def test_formula(self):
+        # s(tau) = gamma_l * tau * eta * rho * (gamma*mu + gamma + 1)
+        value = s_gap(10, 0.5, 0.01, 2.0, 0.5, 3.0)
+        assert value == pytest.approx(0.5 * 10 * 0.01 * 2.0 * (1.5 + 0.5 + 1))
+
+    def test_linear_in_gamma_edge(self):
+        """Theorem 5's engine: smaller γℓ gives proportionally smaller s."""
+        a = s_gap(10, 0.25, 0.01, 2.0, 0.5, 3.0)
+        b = s_gap(10, 0.5, 0.01, 2.0, 0.5, 3.0)
+        assert a == pytest.approx(b / 2)
+
+    def test_increasing_in_tau(self):
+        values = [s_gap(tau, 0.5, 0.01, 2.0, 0.5, 3.0) for tau in range(1, 10)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_zero_gamma_edge_zero_gap(self):
+        assert s_gap(10, 0.0, 0.01, 2.0, 0.5, 3.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            s_gap(-1, 0.5, 0.01, 2.0, 0.5, 3.0)
+        with pytest.raises(ValueError):
+            s_gap(10, 1.5, 0.01, 2.0, 0.5, 3.0)
+
+
+class TestJGap:
+    W = np.array([0.5, 0.5])
+    D = np.array([1.0, 2.0])
+
+    def args(self, **kw):
+        base = dict(
+            delta_edges=self.D,
+            delta_global=1.5,
+            edge_weights=self.W,
+            constants=CONSTS,
+            gamma_edge=0.5,
+            rho=2.0,
+            mu=3.0,
+        )
+        base.update(kw)
+        return base
+
+    def test_increases_with_tau(self):
+        a = j_gap(5, 2, **self.args())
+        b = j_gap(10, 2, **self.args())
+        assert b > a
+
+    def test_increases_with_pi(self):
+        a = j_gap(5, 2, **self.args())
+        b = j_gap(5, 4, **self.args())
+        assert b > a
+
+    def test_smaller_gamma_edge_tighter(self):
+        """Theorem 5: the adaptive expectation E[γℓ]=1/4 < 1/2 tightens j."""
+        adaptive = j_gap(5, 2, **self.args(gamma_edge=0.25))
+        fixed = j_gap(5, 2, **self.args(gamma_edge=0.5))
+        assert adaptive < fixed
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            j_gap(5, 2, **self.args(edge_weights=np.array([0.5, 0.2])))
+        with pytest.raises(ValueError, match="must match"):
+            j_gap(5, 2, **self.args(delta_edges=np.array([1.0])))
+
+    def test_positive(self):
+        assert j_gap(1, 1, **self.args()) > 0
