@@ -7,11 +7,15 @@ aggregation vs a naive per-layer loop (DESIGN.md §6 decision 1), and
 the full HierAdMo iteration cost.
 """
 
+import math
+import time
+
 import numpy as np
 
 from repro.core import Federation, HierAdMo
+from repro.core.adaptive import AdaptiveGammaController
 from repro.data import Dataset
-from repro.nn.models import make_cnn, make_logistic_regression
+from repro.nn.models import make_cnn, make_logistic_regression, make_mlp
 from repro.utils.flatten import flatten_arrays, unflatten_like
 
 RNG = np.random.default_rng(0)
@@ -71,6 +75,21 @@ def test_bench_per_layer_aggregation(benchmark):
     benchmark(aggregate)
 
 
+def test_bench_stacked_aggregation(benchmark):
+    """GEMM counterpart of test_bench_flat_aggregation.
+
+    The buffer-backed runtime keeps worker state stacked in one
+    (num_workers, dim) matrix, so the same weighted average is a single
+    ``weights @ matrix`` product with no Python-level loop at all.
+    """
+    dim = 100_000
+    matrix = RNG.normal(size=(16, dim))
+    weights = np.full(16, 1 / 16)
+
+    result = benchmark(lambda: weights @ matrix)
+    assert result.shape == (dim,)
+
+
 def test_bench_flatten_roundtrip(benchmark):
     arrays = [RNG.normal(size=(64, 128)), RNG.normal(size=(128, 256)),
               RNG.normal(size=(256,))]
@@ -98,3 +117,180 @@ def test_bench_hieradmo_iteration(benchmark):
     algo.history = federation.new_history("bench", {})
     algo._setup()
     benchmark(algo._worker_iteration)
+
+
+# ----------------------------------------------------------------------
+# Before/after: the buffer-backed runtime vs the seed-era hot path
+# ----------------------------------------------------------------------
+def _legacy_parameters(module):
+    """Seed-era parameter collection: a fresh tree walk on every call."""
+    params = list(module._params.values())
+    for child in module._children.values():
+        params.extend(_legacy_parameters(child))
+    return params
+
+
+def _legacy_modules(module):
+    """Seed-era ``modules()``: also an uncached walk (used by train())."""
+    out = [module]
+    for child in module._children.values():
+        out.extend(_legacy_modules(child))
+    return out
+
+
+def _legacy_gradient(model, x, y, params):
+    """Seed-era gradient oracle, walk for walk.
+
+    The seed re-collected ``parameters()`` on every flat-access method:
+    twice in ``set_flat_params`` (shapes, then the copy loop), once in
+    ``zero_grad`` and once in ``get_flat_grads`` — four tree walks per
+    gradient call — plus the unflatten slicing copies and a fresh
+    concatenation of the per-parameter gradients on the way out.
+    """
+    module = model.module
+    blocks = unflatten_like(params, [p.data for p in _legacy_parameters(module)])
+    for param, block in zip(_legacy_parameters(module), blocks):
+        np.copyto(param.data, block)
+    for m in _legacy_modules(module):
+        object.__setattr__(m, "training", True)
+    for param in _legacy_parameters(module):
+        param.grad.fill(0.0)
+    predictions = module.forward(x)
+    loss = model.loss_fn.forward(predictions, y)
+    module.backward(model.loss_fn.backward())
+    return flatten_arrays([p.grad for p in _legacy_parameters(module)]), float(loss)
+
+
+def _time_min(fn, repeats=7, iters=10):
+    """Best-of-repeats mean iteration time (robust to scheduler noise)."""
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best / iters
+
+
+def _make_bench_federation(num_edges=4, per_edge=6):
+    """Small MLP (dim 421), 24 workers across 4 edges."""
+    rng = np.random.default_rng(7)
+    edges = [
+        [
+            Dataset(rng.normal(size=(96, 20)), rng.integers(0, 5, 96), 5)
+            for _ in range(per_edge)
+        ]
+        for _ in range(num_edges)
+    ]
+    model = make_mlp(20, (16,), 5, rng=8)
+    return Federation(model, edges, edges[0][0], batch_size=8, seed=9)
+
+
+def test_bench_buffered_vs_legacy_plumbing():
+    """Before/after micro-benchmark of the paths the refactor changed.
+
+    Measures one federated "plumbing round" with the forward/backward
+    math (identical either way) excluded: per worker, the gradient-oracle
+    bookkeeping — set parameters from a flat vector, zero the gradients,
+    read the flat gradient back — then per edge, the weighted aggregation
+    and redistribution.  ``legacy`` reproduces the seed implementations
+    walk for walk (fresh ``parameters()`` tree walks per flat-access
+    call, unflatten/flatten copies, Python-loop weighted sums over
+    per-worker vectors, per-worker redistribution copies); ``buffered``
+    is the live code (one ``np.copyto`` / ``fill`` / zero-copy view per
+    oracle call, one GEMM + row broadcast per edge).  Acceptance target
+    from the refactor issue: ≥ 2× on a small MLP with ≥ 20 workers.
+    """
+    fed = _make_bench_federation()
+    model, module, dim = fed.model, fed.model.module, fed.dim
+    rng = np.random.default_rng(10)
+    stacked = rng.normal(size=(fed.num_workers, dim))
+    grad_matrix = np.empty_like(stacked)
+    xs = [row.copy() for row in stacked]
+
+    def legacy_round():
+        for worker in range(fed.num_workers):
+            blocks = unflatten_like(
+                xs[worker], [p.data for p in _legacy_parameters(module)]
+            )
+            for param, block in zip(_legacy_parameters(module), blocks):
+                np.copyto(param.data, block)
+            for param in _legacy_parameters(module):
+                param.grad.fill(0.0)
+            flatten_arrays([p.grad for p in _legacy_parameters(module)])
+        for edge in range(fed.num_edges):
+            rows = fed.edge_slices[edge]
+            average = np.zeros(dim)
+            for weight, index in zip(
+                fed.worker_w_in_edge[edge], range(rows.start, rows.stop)
+            ):
+                average += weight * xs[index]
+            for index in range(rows.start, rows.stop):
+                xs[index] = average.copy()
+
+    def buffered_round():
+        for worker in range(fed.num_workers):
+            module.set_flat_params(stacked[worker])
+            module.zero_grad()
+            np.copyto(grad_matrix[worker], module.get_flat_grads())
+        averages = fed.edge_average_all(stacked)
+        for edge in range(fed.num_edges):
+            stacked[fed.edge_slices[edge]] = averages[edge]
+
+    legacy_round()  # warm-up both paths
+    buffered_round()
+    legacy_time = _time_min(legacy_round)
+    buffered_time = _time_min(buffered_round)
+    speedup = legacy_time / buffered_time
+    print(
+        f"\n[bench] oracle+aggregation plumbing, {fed.num_workers} workers, "
+        f"dim={dim}: legacy {legacy_time * 1e6:.0f} us, "
+        f"buffered {buffered_time * 1e6:.0f} us -> {speedup:.1f}x"
+    )
+    assert speedup >= 2.0, (
+        f"buffered plumbing only {speedup:.2f}x faster than legacy"
+    )
+
+
+def test_bench_buffered_vs_legacy_iteration():
+    """End-to-end HierAdMo worker loop: buffered vs seed-era emulation.
+
+    Context for the plumbing micro-benchmark above: the full iteration
+    includes the forward/backward math that the refactor does not touch,
+    so the end-to-end win is smaller — this records it and guards
+    against the buffered runtime ever being slower overall.
+    """
+    fed = _make_bench_federation()
+    model = fed.model
+    algo = HierAdMo(fed, tau=10**9, pi=1)
+    algo.history = fed.new_history("bench", {})
+    algo._setup()
+
+    xs = [fed.initial_params() for _ in range(fed.num_workers)]
+    ys = [x.copy() for x in xs]
+    controller = AdaptiveGammaController(fed.num_workers, fed.dim, "velocity")
+    eta, gamma = algo.eta, algo.gamma
+
+    def legacy_iteration():
+        for worker in range(fed.num_workers):
+            x_batch, y_batch = fed.samplers[worker].next_batch()
+            grad, _ = _legacy_gradient(model, x_batch, y_batch, xs[worker])
+            y_new = xs[worker] - eta * grad
+            velocity = y_new - ys[worker]
+            controller.accumulate(worker, grad, ys[worker], velocity)
+            xs[worker] = y_new + gamma * velocity
+            ys[worker] = y_new
+
+    legacy_iteration()  # warm-up both paths
+    algo._worker_iteration()
+    legacy_time = _time_min(legacy_iteration)
+    buffered_time = _time_min(algo._worker_iteration)
+    speedup = legacy_time / buffered_time
+    print(
+        f"\n[bench] HierAdMo worker iteration, {fed.num_workers} workers, "
+        f"dim={fed.dim}: legacy {legacy_time * 1e6:.0f} us, "
+        f"buffered {buffered_time * 1e6:.0f} us -> {speedup:.2f}x"
+    )
+    assert speedup >= 1.0, (
+        f"buffered end-to-end iteration slower than legacy ({speedup:.2f}x)"
+    )

@@ -56,13 +56,14 @@ class QuantizedHierFAVG(HierFAVG):
     def _setup(self) -> None:
         super()._setup()
         # Reference points the deltas are taken against.
-        self.worker_sync = [x.copy() for x in self.x]
-        self.edge_sync = [m.copy() for m in self.edge_models]
+        self.worker_sync = self.x.copy()
+        self.edge_sync = self.edge_models.copy()
         self.uplink_payload_bytes = 0.0
 
     def _edge_aggregate(self, redistribute: bool = True) -> None:
         fed = self.fed
         for edge in range(fed.num_edges):
+            rows = fed.edge_slices[edge]
             indices = fed.topology.edge_worker_indices(edge)
             weights = fed.worker_w_in_edge[edge]
             aggregate_delta = np.zeros(fed.dim)
@@ -75,9 +76,8 @@ class QuantizedHierFAVG(HierFAVG):
             edge_model = self.worker_sync[indices[0]] + aggregate_delta
             self.edge_models[edge] = edge_model
             if redistribute:
-                for index in indices:
-                    self.x[index] = edge_model.copy()
-                    self.worker_sync[index] = edge_model.copy()
+                self.x[rows] = edge_model
+                self.worker_sync[rows] = edge_model
         self.history.worker_edge_rounds += 1
 
     def _cloud_aggregate(self, to_workers: bool = True) -> None:
@@ -89,11 +89,9 @@ class QuantizedHierFAVG(HierFAVG):
             self.uplink_payload_bytes += result.payload_bytes
             aggregate_delta += fed.edge_w[edge] * result.vector
         global_model = self.edge_sync[0] + aggregate_delta
-        for edge in range(fed.num_edges):
-            self.edge_models[edge] = global_model.copy()
-            self.edge_sync[edge] = global_model.copy()
+        self.edge_models[:] = global_model
+        self.edge_sync[:] = global_model
         if to_workers:
-            for worker in range(fed.num_workers):
-                self.x[worker] = global_model.copy()
-                self.worker_sync[worker] = global_model.copy()
+            self.x[:] = global_model
+            self.worker_sync[:] = global_model
         self.history.edge_cloud_rounds += 1

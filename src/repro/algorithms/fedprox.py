@@ -44,12 +44,15 @@ class FedProx(TwoTierAlgorithm):
         self.global_params = self.fed.initial_params()
 
     def _step(self, t: int) -> float:
+        grads = self._grads
         total = 0.0
         for worker in range(self.fed.num_workers):
-            grad, loss = self.fed.gradient(worker, self.x[worker])
-            proximal = self.mu * (self.x[worker] - self.global_params)
-            self.x[worker] = self.x[worker] - self.eta * (grad + proximal)
+            _, loss = self.fed.gradient(
+                worker, self.x[worker], out=grads[worker]
+            )
             total += loss
+        proximal = self.mu * (self.x - self.global_params)
+        self.x -= self.eta * (grads + proximal)
         if t % self.tau == 0:
             self.global_params = self._average_models()
             self._broadcast(self.global_params)

@@ -46,34 +46,34 @@ class HierFAVG(FLAlgorithm):
         return {"eta": self.eta, "tau": self.tau, "pi": self.pi}
 
     def _setup(self) -> None:
-        x0 = self.fed.initial_params()
-        self.x = [x0.copy() for _ in range(self.fed.num_workers)]
-        self.edge_models = [x0.copy() for _ in range(self.fed.num_edges)]
+        self.x = self.fed.initial_worker_matrix()
+        self.edge_models = self.fed.initial_edge_matrix()
+        self._grads = np.empty_like(self.x)
 
     def _local_iteration(self) -> float:
+        grads = self._grads
         total = 0.0
         for worker in range(self.fed.num_workers):
-            grad, loss = self.fed.gradient(worker, self.x[worker])
-            self.x[worker] = self.x[worker] - self.eta * grad
+            _, loss = self.fed.gradient(
+                worker, self.x[worker], out=grads[worker]
+            )
             total += loss
+        self.x -= self.eta * grads
         return total / self.fed.num_workers
 
     def _edge_aggregate(self, redistribute: bool = True) -> None:
-        for edge in range(self.fed.num_edges):
-            edge_model = self.fed.edge_average(edge, self.x)
-            self.edge_models[edge] = edge_model
-            if redistribute:
-                for index in self.fed.topology.edge_worker_indices(edge):
-                    self.x[index] = edge_model.copy()
+        fed = self.fed
+        self.edge_models[:] = fed.edge_average_all(self.x)
+        if redistribute:
+            for edge in range(fed.num_edges):
+                self.x[fed.edge_slices[edge]] = self.edge_models[edge]
         self.history.worker_edge_rounds += 1
 
     def _cloud_aggregate(self, to_workers: bool = True) -> None:
         global_model = self.fed.cloud_average_edges(self.edge_models)
-        for edge in range(self.fed.num_edges):
-            self.edge_models[edge] = global_model.copy()
+        self.edge_models[:] = global_model
         if to_workers:
-            for worker in range(self.fed.num_workers):
-                self.x[worker] = global_model.copy()
+            self.x[:] = global_model
         self.history.edge_cloud_rounds += 1
 
     def _step(self, t: int) -> float:
@@ -119,8 +119,7 @@ class CFL(HierFAVG):
                 else:
                     merged = fresh
                 self.edge_models[edge] = merged
-                for index in self.fed.topology.edge_worker_indices(edge):
-                    self.x[index] = merged.copy()
+                self.x[self.fed.edge_slices[edge]] = merged
             self.history.worker_edge_rounds += 1
         if t % (self.tau * self.pi) == 0:
             self._cloud_aggregate(to_workers=False)

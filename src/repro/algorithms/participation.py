@@ -57,22 +57,21 @@ class SampledFedAvg(TwoTierAlgorithm):
         chosen = self.rng.choice(num_workers, size=count, replace=False)
         self.active = sorted(int(i) for i in chosen)
         # Participants start from the server model.
-        for worker in self.active:
-            self.x[worker] = self.server_params.copy()
+        self.x[self.active] = self.server_params
 
     def _step(self, t: int) -> float:
+        grads = self._grads
         total = 0.0
         for worker in self.active:
-            grad, loss = self.fed.gradient(worker, self.x[worker])
-            self.x[worker] = self.x[worker] - self.eta * grad
+            _, loss = self.fed.gradient(
+                worker, self.x[worker], out=grads[worker]
+            )
             total += loss
+        self.x[self.active] -= self.eta * grads[self.active]
         if t % self.tau == 0:
             weights = self.fed.global_worker_w[self.active]
             weights = weights / weights.sum()
-            aggregate = np.zeros(self.fed.dim)
-            for weight, worker in zip(weights, self.active):
-                aggregate += weight * self.x[worker]
-            self.server_params = aggregate
+            self.server_params = weights @ self.x[self.active]
             self.history.edge_cloud_rounds += 1
             self._sample_round()
         return total / len(self.active)

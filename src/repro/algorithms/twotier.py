@@ -49,7 +49,7 @@ __all__ = [
 
 
 class TwoTierAlgorithm(FLAlgorithm):
-    """Shared plumbing: per-worker model vectors + global averaging."""
+    """Shared plumbing: stacked (num_workers, dim) models + global averaging."""
 
     def __init__(self, federation: Federation, *, eta: float = 0.01, tau: int = 20):
         super().__init__(federation, eta=eta)
@@ -59,26 +59,28 @@ class TwoTierAlgorithm(FLAlgorithm):
         return {"eta": self.eta, "tau": self.tau}
 
     def _setup(self) -> None:
-        x0 = self.fed.initial_params()
-        self.x = [x0.copy() for _ in range(self.fed.num_workers)]
+        self.x = self.fed.initial_worker_matrix()
+        self._grads = np.empty_like(self.x)
 
     def _average_models(self) -> np.ndarray:
         return self.fed.global_average_workers(self.x)
 
     def _broadcast(self, params: np.ndarray) -> None:
-        for worker in range(self.fed.num_workers):
-            self.x[worker] = params.copy()
+        self.x[:] = params
 
     def _global_params(self) -> np.ndarray:
         return self._average_models()
 
     def _local_sgd_iteration(self) -> float:
         """One plain SGD step on every worker; returns mean batch loss."""
+        grads = self._grads
         total = 0.0
         for worker in range(self.fed.num_workers):
-            grad, loss = self.fed.gradient(worker, self.x[worker])
-            self.x[worker] = self.x[worker] - self.eta * grad
+            _, loss = self.fed.gradient(
+                worker, self.x[worker], out=grads[worker]
+            )
             total += loss
+        self.x -= self.eta * grads
         return total / self.fed.num_workers
 
 
@@ -120,22 +122,22 @@ class FedNAG(TwoTierAlgorithm):
 
     def _setup(self) -> None:
         super()._setup()
-        self.y = [x.copy() for x in self.x]
+        self.y = self.x.copy()
 
     def _step(self, t: int) -> float:
+        grads = self._grads
         total = 0.0
         for worker in range(self.fed.num_workers):
-            grad, loss = self.fed.gradient(worker, self.x[worker])
+            _, loss = self.fed.gradient(
+                worker, self.x[worker], out=grads[worker]
+            )
             total += loss
-            y_new = self.x[worker] - self.eta * grad
-            self.x[worker] = y_new + self.gamma * (y_new - self.y[worker])
-            self.y[worker] = y_new
+        y_new = self.x - self.eta * grads
+        self.x = y_new + self.gamma * (y_new - self.y)
+        self.y = y_new
         if t % self.tau == 0:
-            x_bar = self._average_models()
-            y_bar = self.fed.global_average_workers(self.y)
-            for worker in range(self.fed.num_workers):
-                self.x[worker] = x_bar.copy()
-                self.y[worker] = y_bar.copy()
+            self.x[:] = self._average_models()
+            self.y[:] = self.fed.global_average_workers(self.y)
             self.history.edge_cloud_rounds += 1
         return total / self.fed.num_workers
 
@@ -258,18 +260,20 @@ class Mime(TwoTierAlgorithm):
         self.server_state = np.zeros(self.fed.dim)
 
     def _step(self, t: int) -> float:
+        grads = self._grads
         total = 0.0
         for worker in range(self.fed.num_workers):
-            grad, loss = self.fed.gradient(worker, self.x[worker])
+            _, loss = self.fed.gradient(
+                worker, self.x[worker], out=grads[worker]
+            )
             total += loss
-            update = (1.0 - self.beta) * grad + self.beta * self.server_state
-            self.x[worker] = self.x[worker] - self.eta * update
+        self.x -= self.eta * (
+            (1.0 - self.beta) * grads + self.beta * self.server_state
+        )
         if t % self.tau == 0:
             x_bar = self._average_models()
-            grads = []
             for worker in range(self.fed.num_workers):
-                grad, _ = self.fed.gradient(worker, x_bar)
-                grads.append(grad)
+                self.fed.gradient(worker, x_bar, out=grads[worker])
             mean_grad = self.fed.global_average_workers(grads)
             self.server_state = (
                 (1.0 - self.beta) * mean_grad + self.beta * self.server_state
@@ -309,18 +313,18 @@ class FedADC(TwoTierAlgorithm):
         super()._setup()
         self.server_params = self.fed.initial_params()
         self.server_momentum = np.zeros(self.fed.dim)
-        self.local_momentum = [
-            np.zeros(self.fed.dim) for _ in range(self.fed.num_workers)
-        ]
+        self.local_momentum = np.zeros((self.fed.num_workers, self.fed.dim))
 
     def _step(self, t: int) -> float:
+        grads = self._grads
         total = 0.0
         for worker in range(self.fed.num_workers):
-            grad, loss = self.fed.gradient(worker, self.x[worker])
+            _, loss = self.fed.gradient(
+                worker, self.x[worker], out=grads[worker]
+            )
             total += loss
-            buffer = self.beta * self.local_momentum[worker] + grad
-            self.local_momentum[worker] = buffer
-            self.x[worker] = self.x[worker] - self.eta * buffer
+        self.local_momentum = self.beta * self.local_momentum + grads
+        self.x -= self.eta * self.local_momentum
         if t % self.tau == 0:
             pseudo_grad = (
                 self.server_params - self._average_models()
@@ -331,8 +335,7 @@ class FedADC(TwoTierAlgorithm):
             )
             self.server_params = self._average_models()
             self._broadcast(self.server_params)
-            for worker in range(self.fed.num_workers):
-                self.local_momentum[worker] = self.server_momentum.copy()
+            self.local_momentum[:] = self.server_momentum
             self.history.edge_cloud_rounds += 1
         return total / self.fed.num_workers
 
@@ -375,18 +378,21 @@ class FastSlowMo(TwoTierAlgorithm):
 
     def _setup(self) -> None:
         super()._setup()
-        self.y = [x.copy() for x in self.x]
+        self.y = self.x.copy()
         self.server_params = self.fed.initial_params()
         self.slow_momentum = np.zeros(self.fed.dim)
 
     def _step(self, t: int) -> float:
+        grads = self._grads
         total = 0.0
         for worker in range(self.fed.num_workers):
-            grad, loss = self.fed.gradient(worker, self.x[worker])
+            _, loss = self.fed.gradient(
+                worker, self.x[worker], out=grads[worker]
+            )
             total += loss
-            y_new = self.x[worker] - self.eta * grad
-            self.x[worker] = y_new + self.gamma * (y_new - self.y[worker])
-            self.y[worker] = y_new
+        y_new = self.x - self.eta * grads
+        self.x = y_new + self.gamma * (y_new - self.y)
+        self.y = y_new
         if t % self.tau == 0:
             x_bar = self._average_models()
             y_bar = self.fed.global_average_workers(self.y)
@@ -395,9 +401,8 @@ class FastSlowMo(TwoTierAlgorithm):
             self.server_params = (
                 self.server_params - self.alpha * self.eta * self.slow_momentum
             )
-            for worker in range(self.fed.num_workers):
-                self.x[worker] = self.server_params.copy()
-                self.y[worker] = y_bar.copy()
+            self.x[:] = self.server_params
+            self.y[:] = y_bar
             self.history.edge_cloud_rounds += 1
         return total / self.fed.num_workers
 

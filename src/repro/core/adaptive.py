@@ -34,34 +34,35 @@ GAMMA_CAP = 0.99
 
 
 def cosine_agreement(
-    grad_sums: list[np.ndarray],
-    momentum_sums: list[np.ndarray],
+    grad_sums,
+    momentum_sums,
     weights: np.ndarray,
 ) -> float:
     """Eq. (6): weighted average of per-worker cos⟨−Σ∇F, Σmomentum⟩.
 
-    Workers whose accumulated vectors are (numerically) zero contribute a
-    cosine of 0 — there is no direction to agree or disagree with.
+    ``grad_sums`` / ``momentum_sums`` are ``(workers, dim)`` matrices (or
+    lists of flat vectors).  Workers whose accumulated vectors are
+    (numerically) zero are *dropped*: their weight is excluded from the
+    sum rather than renormalized over the remaining workers — there is
+    no direction to agree or disagree with, so they contribute 0.
     """
-    if not len(grad_sums) == len(momentum_sums) == len(weights):
+    grads = np.asarray(grad_sums, dtype=np.float64)
+    momenta = np.asarray(momentum_sums, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if not grads.shape[0] == momenta.shape[0] == weights.shape[0]:
         raise ValueError(
-            f"mismatched lengths: {len(grad_sums)} grads, "
-            f"{len(momentum_sums)} momenta, {len(weights)} weights"
+            f"mismatched lengths: {grads.shape[0]} grads, "
+            f"{momenta.shape[0]} momenta, {weights.shape[0]} weights"
         )
-    total = 0.0
-    for grad_sum, momentum_sum, weight in zip(
-        grad_sums, momentum_sums, weights
-    ):
-        grad_norm = np.linalg.norm(grad_sum)
-        momentum_norm = np.linalg.norm(momentum_sum)
-        if grad_norm < 1e-12 or momentum_norm < 1e-12:
-            continue
-        cosine = float(
-            np.dot(-grad_sum, momentum_sum) / (grad_norm * momentum_norm)
-        )
-        # Guard against floating-point drift outside [-1, 1].
-        total += weight * min(1.0, max(-1.0, cosine))
-    return total
+    grad_norms = np.linalg.norm(grads, axis=1)
+    momentum_norms = np.linalg.norm(momenta, axis=1)
+    valid = (grad_norms >= 1e-12) & (momentum_norms >= 1e-12)
+    if not valid.any():
+        return 0.0
+    dots = np.einsum("ij,ij->i", -grads[valid], momenta[valid])
+    cosines = dots / (grad_norms[valid] * momentum_norms[valid])
+    # Guard against floating-point drift outside [-1, 1].
+    return float(weights[valid] @ np.clip(cosines, -1.0, 1.0))
 
 
 def adapt_gamma(cosine: float, cap: float = GAMMA_CAP) -> float:
@@ -76,21 +77,22 @@ def adapt_gamma(cosine: float, cap: float = GAMMA_CAP) -> float:
 class AdaptiveGammaController:
     """Per-edge γℓ adaptation with interval accumulators.
 
-    One controller instance serves all edges: workers feed their
-    per-iteration gradient and momentum vectors via :meth:`accumulate`,
-    and each edge aggregation calls :meth:`gamma_for_edge` then
-    :meth:`reset_workers`.
+    One controller instance serves all edges: the accumulators live in
+    stacked ``(num_workers, dim)`` matrices, filled either one worker at
+    a time via :meth:`accumulate` or for all workers at once via
+    :meth:`accumulate_all`; each edge aggregation calls
+    :meth:`gamma_for_edge` then :meth:`reset_workers`.
     """
 
     def __init__(self, num_workers: int, dim: int, mode: str = "velocity"):
         if mode not in ("velocity", "y"):
             raise ValueError(f"mode must be 'velocity' or 'y', got {mode!r}")
         self.mode = mode
-        self.grad_sums = [np.zeros(dim) for _ in range(num_workers)]
-        self.momentum_sums = [np.zeros(dim) for _ in range(num_workers)]
+        self.grad_sums = np.zeros((num_workers, dim))
+        self.momentum_sums = np.zeros((num_workers, dim))
         # In velocity mode the step right after a sync is excluded (its
         # velocity carries the redistribution jump, not training signal).
-        self._boundary = [True] * num_workers
+        self._boundary = np.ones(num_workers, dtype=bool)
 
     def accumulate(
         self,
@@ -114,20 +116,46 @@ class AdaptiveGammaController:
             self.grad_sums[worker] += grad
             self.momentum_sums[worker] += y_prev
 
+    def accumulate_all(
+        self,
+        grads: np.ndarray,
+        y_prev: np.ndarray,
+        velocities: np.ndarray,
+    ) -> None:
+        """Record one local iteration for *all* workers at once.
+
+        Arguments are stacked ``(num_workers, dim)`` matrices; equivalent
+        to calling :meth:`accumulate` per worker, without the Python loop.
+        """
+        if self.mode == "velocity":
+            active = ~self._boundary
+            if active.all():
+                self.grad_sums += grads
+                self.momentum_sums += velocities
+            else:
+                self.grad_sums[active] += grads[active]
+                self.momentum_sums[active] += velocities[active]
+                self._boundary[:] = False
+        else:
+            self.grad_sums += grads
+            self.momentum_sums += y_prev
+
     def gamma_for_edge(
-        self, worker_indices: list[int], weights: np.ndarray
+        self, worker_indices, weights: np.ndarray
     ) -> float:
-        """γℓ for one edge from its workers' accumulators (eqs. 6–7)."""
+        """γℓ for one edge from its workers' accumulators (eqs. 6–7).
+
+        ``worker_indices`` may be a list of flat ids or a slice.
+        """
         cosine = cosine_agreement(
-            [self.grad_sums[i] for i in worker_indices],
-            [self.momentum_sums[i] for i in worker_indices],
+            self.grad_sums[worker_indices],
+            self.momentum_sums[worker_indices],
             weights,
         )
         return adapt_gamma(cosine)
 
-    def reset_workers(self, worker_indices: list[int]) -> None:
+    def reset_workers(self, worker_indices) -> None:
         """Zero the accumulators after an edge aggregation."""
-        for index in worker_indices:
-            self.grad_sums[index].fill(0.0)
-            self.momentum_sums[index].fill(0.0)
-            self._boundary[index] = True
+        self.grad_sums[worker_indices] = 0.0
+        self.momentum_sums[worker_indices] = 0.0
+        self._boundary[worker_indices] = True

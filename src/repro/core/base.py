@@ -93,7 +93,10 @@ class FLAlgorithm:
         self._setup()
 
         accuracy, loss = self.fed.evaluate(self._global_params())
-        history.record_eval(0, accuracy, loss, train_loss=loss)
+        # No training batches have run at iteration 0, so there is no
+        # training loss to report (recording the test loss here, as the
+        # seed implementation did, silently conflated the two series).
+        history.record_eval(0, accuracy, loss, train_loss=float("nan"))
 
         running_loss = 0.0
         since_eval = 0

@@ -10,8 +10,11 @@ A :class:`Federation` bundles everything an FL algorithm needs to run:
 * the :class:`~repro.topology.Topology` with its aggregation weights,
 * the held-out test set for evaluation.
 
-Algorithms keep per-worker *state* (parameter and momentum vectors) as
-plain flat NumPy vectors and call :meth:`gradient` to get ``∇F_{i,ℓ}``.
+Algorithms keep per-worker *state* as stacked ``(num_workers, dim)`` /
+``(num_edges, dim)`` float64 matrices (one row per worker/edge), so every
+aggregation helper here is a single ``weights @ matrix`` GEMM and
+redistribution is a row-broadcast assignment.  The helpers also accept
+plain lists of flat vectors (stacked on the fly) for ad-hoc callers.
 """
 
 from __future__ import annotations
@@ -72,6 +75,14 @@ class Federation:
             for edge in range(self.topology.num_edges)
         ]
         self.global_worker_w = self.topology.global_worker_weights()
+        # Workers of an edge occupy a contiguous row block in the stacked
+        # (num_workers, dim) state, so each edge's rows are a slice.
+        self.edge_slices: list[slice] = []
+        start = 0
+        for edge in range(self.topology.num_edges):
+            stop = start + self.topology.workers_in_edge(edge)
+            self.edge_slices.append(slice(start, stop))
+            start = stop
 
     # ------------------------------------------------------------------
     # Shape shortcuts
@@ -93,55 +104,77 @@ class Federation:
         """Copy of the shared initial parameter vector x⁰."""
         return self._initial_params.copy()
 
+    def initial_worker_matrix(self) -> np.ndarray:
+        """``(num_workers, dim)`` stacked state, every row = x⁰."""
+        return np.tile(self._initial_params, (self.num_workers, 1))
+
+    def initial_edge_matrix(self) -> np.ndarray:
+        """``(num_edges, dim)`` stacked state, every row = x⁰."""
+        return np.tile(self._initial_params, (self.num_edges, 1))
+
     # ------------------------------------------------------------------
     # Gradient oracle
     # ------------------------------------------------------------------
     def gradient(
-        self, worker: int, params: np.ndarray
+        self,
+        worker: int,
+        params: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
     ) -> tuple[np.ndarray, float]:
-        """``(∇F_{i,ℓ}(params), batch loss)`` on worker's next mini-batch."""
+        """``(∇F_{i,ℓ}(params), batch loss)`` on worker's next mini-batch.
+
+        ``out``, when given, receives the gradient in place (the stacked
+        hot path passes its grad-matrix row to avoid an allocation).
+        """
         x, y = self.samplers[worker].next_batch()
-        return self.model.gradient(x, y, params)
+        return self.model.gradient(x, y, params, out=out)
 
     # ------------------------------------------------------------------
-    # Aggregation helpers
+    # Aggregation helpers (each one GEMM over stacked state)
     # ------------------------------------------------------------------
-    def edge_average(
-        self, edge: int, vectors: list[np.ndarray]
-    ) -> np.ndarray:
+    def edge_average(self, edge: int, vectors) -> np.ndarray:
         """Weighted within-edge average Σᵢ (D_{i,ℓ}/Dℓ) vᵢ.
 
-        ``vectors`` is indexed by *flat* worker id.
+        ``vectors`` is a ``(num_workers, dim)`` matrix (or list of flat
+        vectors) indexed by *flat* worker id.
         """
-        indices = self.topology.edge_worker_indices(edge)
-        weights = self.worker_w_in_edge[edge]
-        out = np.zeros(self.dim)
-        for weight, index in zip(weights, indices):
-            out += weight * vectors[index]
-        return out
+        matrix = np.asarray(vectors)
+        return self.worker_w_in_edge[edge] @ matrix[self.edge_slices[edge]]
 
-    def cloud_average_edges(self, vectors: list[np.ndarray]) -> np.ndarray:
+    def edge_average_all(self, vectors) -> np.ndarray:
+        """All edges' within-edge averages as one ``(num_edges, dim)``."""
+        matrix = np.asarray(vectors)
+        return np.vstack([
+            self.worker_w_in_edge[edge] @ matrix[self.edge_slices[edge]]
+            for edge in range(self.num_edges)
+        ])
+
+    def cloud_average_edges(self, vectors) -> np.ndarray:
         """Weighted over-edges average Σℓ (Dℓ/D) vℓ."""
-        out = np.zeros(self.dim)
-        for weight, vector in zip(self.edge_w, vectors):
-            out += weight * vector
-        return out
+        return self.edge_w @ np.asarray(vectors)
 
-    def global_average_workers(self, vectors: list[np.ndarray]) -> np.ndarray:
+    def global_average_workers(self, vectors) -> np.ndarray:
         """Weighted over-all-workers average Σ (D_{i,ℓ}/D) vᵢℓ."""
-        out = np.zeros(self.dim)
-        for weight, vector in zip(self.global_worker_w, vectors):
-            out += weight * vector
-        return out
+        return self.global_worker_w @ np.asarray(vectors)
 
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
     def evaluate(self, params: np.ndarray) -> tuple[float, float]:
-        """(test accuracy, test loss) of the model at ``params``."""
-        self.model.set_flat_params(params)
-        accuracy = self.model.accuracy(self.test_set.x, self.test_set.y)
-        loss = self.model.loss(self.test_set.x, self.test_set.y)
+        """(test accuracy, test loss) of the model at ``params``.
+
+        A diverged model (non-finite parameters) evaluates to
+        ``(0.0, nan)`` without running a forward pass; a finite but
+        overflowing forward runs under ``np.errstate`` so the divergence
+        guard's final evaluation cannot leak ``RuntimeWarning``s.
+        """
+        if not np.isfinite(params).all():
+            return 0.0, float("nan")
+        with np.errstate(over="ignore", invalid="ignore"):
+            self.model.set_flat_params(params)
+            accuracy = self.model.accuracy(self.test_set.x, self.test_set.y)
+            loss = self.model.loss(self.test_set.x, self.test_set.y)
         return accuracy, loss
 
     def new_history(self, algorithm: str, config: dict) -> TrainingHistory:

@@ -82,15 +82,18 @@ class HierAdMo(FLAlgorithm):
     # ------------------------------------------------------------------
     def _setup(self) -> None:
         fed = self.fed
-        x0 = fed.initial_params()
-        # Worker state (lines 1): x⁰ identical everywhere, y⁰ = x⁰.
-        self.x = [x0.copy() for _ in range(fed.num_workers)]
-        self.y = [x0.copy() for _ in range(fed.num_workers)]
-        # Edge state (line 2): x⁰ℓ₊ = x⁰, y⁰ℓ₊ = x⁰ℓ₊.
-        self.edge_x_plus = [x0.copy() for _ in range(fed.num_edges)]
-        self.edge_y_plus = [x0.copy() for _ in range(fed.num_edges)]
+        # Worker state (lines 1), stacked (num_workers, dim): x⁰ identical
+        # everywhere, y⁰ = x⁰.
+        self.x = fed.initial_worker_matrix()
+        self.y = self.x.copy()
+        # Edge state (line 2), stacked (num_edges, dim): x⁰ℓ₊ = x⁰,
+        # y⁰ℓ₊ = x⁰ℓ₊.
+        self.edge_x_plus = fed.initial_edge_matrix()
+        self.edge_y_plus = self.edge_x_plus.copy()
         # Latest aggregated worker momentum per edge (for the cloud step).
-        self.edge_y_minus = [x0.copy() for _ in range(fed.num_edges)]
+        self.edge_y_minus = self.edge_x_plus.copy()
+        # Per-iteration gradient matrix, filled row by row by the oracle.
+        self._grads = np.empty((fed.num_workers, fed.dim))
         self.controller = AdaptiveGammaController(
             fed.num_workers, fed.dim, self.angle_mode
         )
@@ -106,22 +109,23 @@ class HierAdMo(FLAlgorithm):
     def _worker_iteration(self) -> float:
         """Lines 4–6 for every worker; returns the mean batch loss."""
         fed = self.fed
+        grads = self._grads
         total_loss = 0.0
         for worker in range(fed.num_workers):
-            grad, loss = fed.gradient(worker, self.x[worker])
+            _, loss = fed.gradient(worker, self.x[worker], out=grads[worker])
             total_loss += loss
-            y_new = self.x[worker] - self.eta * grad  # line 5
-            velocity = y_new - self.y[worker]
-            self.controller.accumulate(worker, grad, self.y[worker], velocity)
-            if self.track_mu:
-                self.velocity_norms.append(
-                    float(np.linalg.norm(self.gamma * velocity))
-                )
-                self.gradient_step_norms.append(
-                    float(np.linalg.norm(self.eta * grad))
-                )
-            self.x[worker] = y_new + self.gamma * velocity  # line 6
-            self.y[worker] = y_new
+        y_new = self.x - self.eta * grads  # line 5, all workers at once
+        velocity = y_new - self.y
+        self.controller.accumulate_all(grads, self.y, velocity)
+        if self.track_mu:
+            self.velocity_norms.extend(
+                np.linalg.norm(self.gamma * velocity, axis=1).tolist()
+            )
+            self.gradient_step_norms.extend(
+                np.linalg.norm(self.eta * grads, axis=1).tolist()
+            )
+        self.x = y_new + self.gamma * velocity  # line 6
+        self.y = y_new
         return total_loss / fed.num_workers
 
     def _edge_update(self) -> dict[int, float]:
@@ -129,12 +133,12 @@ class HierAdMo(FLAlgorithm):
         fed = self.fed
         gammas: dict[int, float] = {}
         for edge in range(fed.num_edges):
-            indices = fed.topology.edge_worker_indices(edge)
+            rows = fed.edge_slices[edge]
             weights = fed.worker_w_in_edge[edge]
 
             # Line 10: adapt γℓ (or keep it fixed for HierAdMo-R).
             if self.adaptive:
-                measured = self.controller.gamma_for_edge(indices, weights)
+                measured = self.controller.gamma_for_edge(rows, weights)
                 previous = self._gamma_state[edge]
                 if measured < previous:
                     # Disagreement: apply eq. (7) immediately — "scale
@@ -151,17 +155,15 @@ class HierAdMo(FLAlgorithm):
             else:
                 gamma_edge = self.gamma_edge
             gammas[edge] = gamma_edge
-            self.controller.reset_workers(indices)
+            self.controller.reset_workers(rows)
 
-            # Line 11: worker momentum edge aggregation.
-            y_minus = fed.edge_average(edge, self.y)
+            # Line 11: worker momentum edge aggregation (one GEMV).
+            y_minus = weights @ self.y[rows]
 
             # Line 12: edge momentum update (written exactly as the paper,
             # although it algebraically equals the aggregated worker model).
             x_plus_prev = self.edge_x_plus[edge]
-            y_plus = x_plus_prev.copy()
-            for weight, index in zip(weights, indices):
-                y_plus -= weight * (x_plus_prev - self.x[index])
+            y_plus = x_plus_prev - weights @ (x_plus_prev - self.x[rows])
 
             # Line 13: edge model update.
             x_plus = y_plus + gamma_edge * (y_plus - self.edge_y_plus[edge])
@@ -170,10 +172,9 @@ class HierAdMo(FLAlgorithm):
             self.edge_x_plus[edge] = x_plus
             self.edge_y_minus[edge] = y_minus
 
-            # Lines 14–15: redistribution to workers.
-            for index in indices:
-                self.y[index] = y_minus.copy()
-                self.x[index] = x_plus.copy()
+            # Lines 14–15: redistribution (row broadcast into the block).
+            self.y[rows] = y_minus
+            self.x[rows] = x_plus
         self.history.worker_edge_rounds += 1
         return gammas
 
@@ -182,12 +183,10 @@ class HierAdMo(FLAlgorithm):
         fed = self.fed
         y_bar = fed.cloud_average_edges(self.edge_y_minus)  # line 18
         x_bar = fed.cloud_average_edges(self.edge_x_plus)  # line 19
-        for edge in range(fed.num_edges):
-            self.edge_y_minus[edge] = y_bar.copy()  # line 20
-            self.edge_x_plus[edge] = x_bar.copy()  # line 21
-        for worker in range(fed.num_workers):
-            self.y[worker] = y_bar.copy()  # line 22
-            self.x[worker] = x_bar.copy()  # line 23
+        self.edge_y_minus[:] = y_bar  # line 20
+        self.edge_x_plus[:] = x_bar  # line 21
+        self.y[:] = y_bar  # line 22
+        self.x[:] = x_bar  # line 23
         self.history.edge_cloud_rounds += 1
 
     # ------------------------------------------------------------------

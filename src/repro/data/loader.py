@@ -27,12 +27,15 @@ class BatchSampler:
         batch_size: int,
         rng: np.random.Generator | int | None = None,
     ):
+        # The empty-dataset check must come first: an empty dataset is the
+        # more fundamental problem, and clamping batch_size against
+        # len(dataset) == 0 would otherwise report a batch-size error.
+        if len(dataset) == 0:
+            raise ValueError("cannot sample from an empty dataset")
         self.dataset = dataset
         self.batch_size = min(
             check_positive_int(batch_size, "batch_size"), len(dataset)
         )
-        if len(dataset) == 0:
-            raise ValueError("cannot sample from an empty dataset")
         self.rng = make_rng(rng)
         self._order = self.rng.permutation(len(dataset))
         self._cursor = 0

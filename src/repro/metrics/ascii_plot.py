@@ -17,21 +17,30 @@ _BLOCKS = "▁▂▃▄▅▆▇█"
 
 
 def sparkline(values, low: float | None = None, high: float | None = None) -> str:
-    """One-line block-character rendering of a series."""
+    """One-line block-character rendering of a series.
+
+    Non-finite entries render as blanks (training histories legitimately
+    contain them, e.g. ``train_loss[0]`` is NaN before any step).
+    """
     values = np.asarray(list(values), dtype=np.float64)
     if values.size == 0:
         raise ValueError("cannot sparkline an empty series")
-    low = float(values.min()) if low is None else float(low)
-    high = float(values.max()) if high is None else float(high)
+    finite = np.isfinite(values)
+    if not finite.any():
+        return " " * values.size
+    low = float(values[finite].min()) if low is None else float(low)
+    high = float(values[finite].max()) if high is None else float(high)
     if high - low < 1e-12:
-        return _BLOCKS[0] * values.size
-    scaled = (values - low) / (high - low)
+        return "".join(_BLOCKS[0] if ok else " " for ok in finite)
+    scaled = np.where(finite, (values - low) / (high - low), 0.0)
     indices = np.clip(
         (scaled * (len(_BLOCKS) - 1)).round().astype(int),
         0,
         len(_BLOCKS) - 1,
     )
-    return "".join(_BLOCKS[i] for i in indices)
+    return "".join(
+        _BLOCKS[i] if ok else " " for i, ok in zip(indices, finite)
+    )
 
 
 def ascii_curve(
@@ -49,14 +58,21 @@ def ascii_curve(
     ys = np.asarray(list(ys), dtype=np.float64)
     if xs.size != ys.size or xs.size == 0:
         raise ValueError("xs and ys must be equal-length and non-empty")
+    # Points with a non-finite coordinate are skipped (NaN markers such
+    # as the pre-training train_loss entry must not break plotting).
+    finite = np.isfinite(xs) & np.isfinite(ys)
+    if not finite.any():
+        raise ValueError("no finite points to plot")
 
-    x_low, x_high = float(xs.min()), float(xs.max())
-    y_low, y_high = float(ys.min()), float(ys.max())
+    x_low, x_high = float(xs[finite].min()), float(xs[finite].max())
+    y_low, y_high = float(ys[finite].min()), float(ys[finite].max())
     x_span = max(x_high - x_low, 1e-12)
     y_span = max(y_high - y_low, 1e-12)
 
     grid = [[" "] * width for _ in range(height)]
-    for x, y in zip(xs, ys):
+    for x, y, ok in zip(xs, ys, finite):
+        if not ok:
+            continue
         col = int((x - x_low) / x_span * (width - 1))
         row = height - 1 - int((y - y_low) / y_span * (height - 1))
         grid[row][col] = "*"
@@ -88,7 +104,10 @@ def compare_curves(histories: dict, *, width: int = 40) -> str:
         value
         for history in histories.values()
         for value in history.test_accuracy
+        if np.isfinite(value)
     ]
+    if not all_values:
+        raise ValueError("no finite accuracy values to compare")
     low, high = min(all_values), max(all_values)
     name_width = max(len(name) for name in histories) + 2
     lines = []

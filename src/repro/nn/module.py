@@ -8,26 +8,35 @@ used by the federated-learning layer.
 Each module caches whatever it needs during ``forward`` and consumes it in
 the next ``backward`` call, so the intended usage is strictly
 forward-then-backward per batch (exactly what SGD-style training needs).
+
+Flat-vector access is backed by a :class:`FlatParamBuffer`: one contiguous
+``(dim,)`` float64 vector for the parameters and one for the gradients,
+with every ``Parameter.data`` / ``Parameter.grad`` rebound to a reshaped
+view into those buffers.  ``set_flat_params`` is then a single
+``np.copyto``, ``zero_grad`` one ``fill(0.0)``, and ``get_flat_grads``
+zero-copy — the federated hot path pays no per-call tree traversal or
+re-concatenation (see docs/architecture.md for the ownership rules).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.flatten import flatten_arrays, unflatten_like
-
-__all__ = ["Parameter", "Module", "Sequential"]
+__all__ = ["Parameter", "Module", "Sequential", "FlatParamBuffer"]
 
 
 class Parameter:
     """A trainable array together with its gradient accumulator."""
 
-    __slots__ = ("data", "grad", "name")
+    __slots__ = ("data", "grad", "name", "_owner")
 
     def __init__(self, data: np.ndarray, name: str = ""):
         self.data = np.asarray(data, dtype=np.float64)
         self.grad = np.zeros_like(self.data)
         self.name = name
+        # The FlatParamBuffer whose storage data/grad currently view,
+        # or None while the parameter still owns standalone arrays.
+        self._owner: "FlatParamBuffer | None" = None
 
     @property
     def shape(self) -> tuple:
@@ -41,6 +50,48 @@ class Parameter:
         return f"Parameter(name={self.name!r}, shape={self.data.shape})"
 
 
+class FlatParamBuffer:
+    """Contiguous flat storage backing a parameter list.
+
+    Owns two ``(dim,)`` float64 vectors — ``data`` for parameter values
+    and ``grad`` for gradients — and rebinds each ``Parameter.data`` /
+    ``Parameter.grad`` to a reshaped view into them.  Layer math keeps
+    reading/writing the parameters as before (views are ordinary
+    arrays); the flat FL interface operates on the whole vector at once.
+
+    Binding a parameter into a new buffer steals it from any previous
+    one; :meth:`owns` lets the previous holder detect that and rebuild.
+    Only a ``FlatParamBuffer`` may rebind ``Parameter.data``/``.grad`` —
+    everything else must write through the views (``copyto``/``fill``).
+    """
+
+    __slots__ = ("params", "data", "grad", "dim")
+
+    def __init__(self, params: list[Parameter]):
+        self.params = list(params)
+        self.dim = sum(p.size for p in self.params)
+        self.data = np.empty(self.dim, dtype=np.float64)
+        self.grad = np.zeros(self.dim, dtype=np.float64)
+        offset = 0
+        for param in self.params:
+            end = offset + param.size
+            data_view = self.data[offset:end].reshape(param.shape)
+            grad_view = self.grad[offset:end].reshape(param.shape)
+            np.copyto(data_view, param.data)
+            np.copyto(grad_view, param.grad)
+            param.data = data_view
+            param.grad = grad_view
+            param._owner = self
+            offset = end
+
+    def owns(self) -> bool:
+        """True while every bound parameter still views this buffer."""
+        for param in self.params:
+            if param._owner is not self:
+                return False
+        return True
+
+
 class Module:
     """Base class for all layers and models.
 
@@ -50,38 +101,71 @@ class Module:
 
     Assigning a ``Parameter`` or ``Module`` to an attribute registers it,
     so ``parameters()`` and ``modules()`` walk the tree automatically.
+    The parameter list and the flat buffer are cached after the first
+    access; registering a new parameter or child anywhere in the tree
+    invalidates the caches up the parent chain.
     """
 
     def __init__(self):
         object.__setattr__(self, "_params", {})
         object.__setattr__(self, "_children", {})
         object.__setattr__(self, "training", True)
+        object.__setattr__(self, "_parent", None)
+        object.__setattr__(self, "_param_cache", None)
+        object.__setattr__(self, "_module_cache", None)
+        object.__setattr__(self, "_flat", None)
 
     def __setattr__(self, name: str, value):
         if isinstance(value, Parameter):
             self._params[name] = value
             if not value.name:
                 value.name = name
+            self._invalidate_caches()
         elif isinstance(value, Module):
             self._children[name] = value
+            object.__setattr__(value, "_parent", self)
+            self._invalidate_caches()
         object.__setattr__(self, name, value)
+
+    def _invalidate_caches(self) -> None:
+        """Drop cached parameter lists/buffers here and in all ancestors."""
+        node: Module | None = self
+        while node is not None:
+            object.__setattr__(node, "_param_cache", None)
+            object.__setattr__(node, "_module_cache", None)
+            object.__setattr__(node, "_flat", None)
+            node = node._parent
 
     # ------------------------------------------------------------------
     # Tree traversal
     # ------------------------------------------------------------------
     def parameters(self) -> list[Parameter]:
-        """All parameters of this module and its children, in stable order."""
-        out = list(self._params.values())
-        for child in self._children.values():
-            out.extend(child.parameters())
-        return out
+        """All parameters of this module and its children, in stable order.
+
+        The list is cached (treat it as read-only); registering new
+        parameters or submodules refreshes it automatically.
+        """
+        cache = self._param_cache
+        if cache is None:
+            cache = list(self._params.values())
+            for child in self._children.values():
+                cache.extend(child.parameters())
+            object.__setattr__(self, "_param_cache", cache)
+        return cache
 
     def modules(self) -> list["Module"]:
-        """This module and all descendants, depth-first."""
-        out: list[Module] = [self]
-        for child in self._children.values():
-            out.extend(child.modules())
-        return out
+        """This module and all descendants, depth-first.
+
+        Cached like :meth:`parameters` (treat it as read-only) — the
+        per-gradient-call ``train()`` switch must not pay a tree walk.
+        """
+        cache = self._module_cache
+        if cache is None:
+            cache = [self]
+            for child in self._children.values():
+                cache.extend(child.modules())
+            object.__setattr__(self, "_module_cache", cache)
+        return cache
 
     # ------------------------------------------------------------------
     # Train / eval mode
@@ -99,12 +183,27 @@ class Module:
         return self
 
     # ------------------------------------------------------------------
+    # Flat buffer
+    # ------------------------------------------------------------------
+    def flat_buffer(self) -> FlatParamBuffer:
+        """The buffer backing this module's parameters (built lazily).
+
+        Rebuilt automatically when the tree gained parameters or when a
+        descendant's buffer stole the bindings (e.g. flat access on a
+        child after flat access on the parent).
+        """
+        flat = self._flat
+        if flat is None or not flat.owns():
+            flat = FlatParamBuffer(self.parameters())
+            object.__setattr__(self, "_flat", flat)
+        return flat
+
+    # ------------------------------------------------------------------
     # Gradient bookkeeping
     # ------------------------------------------------------------------
     def zero_grad(self) -> None:
         """Reset every parameter gradient to zero."""
-        for param in self.parameters():
-            param.grad.fill(0.0)
+        self.flat_buffer().grad.fill(0.0)
 
     # ------------------------------------------------------------------
     # Flat-vector access (used by the FL algorithms)
@@ -115,17 +214,33 @@ class Module:
 
     def get_flat_params(self) -> np.ndarray:
         """Copy all parameters into one flat float64 vector."""
-        return flatten_arrays([p.data for p in self.parameters()])
+        flat = self.flat_buffer()
+        if not flat.params:
+            raise ValueError("cannot flatten an empty parameter list")
+        return flat.data.copy()
 
     def set_flat_params(self, flat: np.ndarray) -> None:
         """Overwrite all parameters from a flat vector (copies data in)."""
-        pieces = unflatten_like(flat, [p.data for p in self.parameters()])
-        for param, piece in zip(self.parameters(), pieces):
-            np.copyto(param.data, piece)
+        buffer = self.flat_buffer()
+        flat = np.asarray(flat)
+        if flat.size != buffer.dim:
+            raise ValueError(
+                f"flat vector has {flat.size} elements but model "
+                f"needs {buffer.dim}"
+            )
+        np.copyto(buffer.data, flat.ravel())
 
     def get_flat_grads(self) -> np.ndarray:
-        """Copy all parameter gradients into one flat float64 vector."""
-        return flatten_arrays([p.grad for p in self.parameters()])
+        """All parameter gradients as one flat float64 vector.
+
+        Zero-copy: the returned array is a live view of the gradient
+        buffer, valid until the next ``zero_grad``/``backward``.  Copy it
+        if it must survive further training steps.
+        """
+        flat = self.flat_buffer()
+        if not flat.params:
+            raise ValueError("cannot flatten an empty parameter list")
+        return flat.grad
 
     # ------------------------------------------------------------------
     # Compute

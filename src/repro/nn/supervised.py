@@ -60,26 +60,55 @@ class SupervisedModel:
     # Training-side compute
     # ------------------------------------------------------------------
     def gradient(
-        self, x: np.ndarray, y: np.ndarray, params: np.ndarray | None = None
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        params: np.ndarray | None = None,
+        *,
+        out: np.ndarray | None = None,
     ) -> tuple[np.ndarray, float]:
         """Return ``(flat_grad, loss_value)`` of the mean loss on a batch.
 
         If ``params`` is given, the gradient is evaluated at those
         parameters (the module's parameters are left set to ``params``
         afterwards — FL algorithms always set parameters explicitly before
-        the next use, so no restore pass is wasted).
+        the next use, so no restore pass is wasted).  ``out``, when given,
+        receives the gradient in place and is returned (the federated hot
+        path uses this to write straight into its stacked grad matrix).
+
+        Divergence is handled at this level: non-finite parameters or a
+        non-finite batch loss short-circuit to an all-NaN gradient and a
+        NaN loss *without* completing the forward/backward pass, and the
+        whole computation runs under ``np.errstate`` so overflow in an
+        intentionally diverging run cannot leak ``RuntimeWarning``s (the
+        run loop's ``stop_on_divergence`` sees the NaN loss instead).
         """
         if params is not None:
             self.set_flat_params(params)
-        self.module.train()
-        self.module.zero_grad()
-        predictions = self.module.forward(x)
-        loss_value = self.loss_fn.forward(predictions, y)
-        self.module.backward(self.loss_fn.backward())
-        grad = self.module.get_flat_grads()
-        if self.weight_decay > 0.0:
-            grad += self.weight_decay * self.module.get_flat_params()
-        return grad, loss_value
+        buffer = self.module.flat_buffer()
+        with np.errstate(over="ignore", invalid="ignore"):
+            if not np.isfinite(buffer.data).all():
+                return self._nan_gradient(out), float("nan")
+            self.module.train()
+            self.module.zero_grad()
+            predictions = self.module.forward(x)
+            loss_value = self.loss_fn.forward(predictions, y)
+            if not np.isfinite(loss_value):
+                return self._nan_gradient(out), float(loss_value)
+            self.module.backward(self.loss_fn.backward())
+            flat_grad = self.module.get_flat_grads()
+            if self.weight_decay > 0.0:
+                flat_grad += self.weight_decay * buffer.data
+        if out is None:
+            return flat_grad.copy(), loss_value
+        np.copyto(out, flat_grad)
+        return out, loss_value
+
+    def _nan_gradient(self, out: np.ndarray | None) -> np.ndarray:
+        if out is None:
+            return np.full(self.module.flat_buffer().dim, np.nan)
+        out.fill(np.nan)
+        return out
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -5,6 +5,12 @@ model's parameters as a single contiguous ``float64`` vector, so aggregation
 and momentum arithmetic are plain NumPy expressions that match the paper's
 Algorithm 1 line-for-line.  These helpers convert between a list of
 arbitrarily-shaped arrays and that flat representation.
+
+The training hot path no longer routes through these functions: flat
+parameter/gradient access is served zero-copy by
+:class:`repro.nn.module.FlatParamBuffer` (see docs/architecture.md §1.1).
+They remain the general-purpose converters for ad-hoc array lists — and the
+reference implementation the buffer's layout is tested against.
 """
 
 from __future__ import annotations

@@ -75,6 +75,26 @@ class TestCosineAgreement:
         value = cosine_agreement(grads, momenta, np.array([0.5, 0.5]))
         assert value == pytest.approx(0.5)
 
+    def test_zero_accumulator_weight_dropped_not_renormalized(self):
+        """A zero-accumulator worker's weight is excluded, not respread.
+
+        Three workers at perfect agreement would give cosine 1.0; zeroing
+        one worker's accumulators must drop its 0.4 weight from the sum
+        (result 0.6), NOT renormalize the remaining weights back to 1.0.
+        """
+        grads = [np.array([1.0, 0.0])] * 2 + [np.zeros(2)]
+        momenta = [np.array([-1.0, 0.0])] * 2 + [np.array([5.0, 5.0])]
+        weights = np.array([0.25, 0.35, 0.4])
+        value = cosine_agreement(grads, momenta, weights)
+        assert value == pytest.approx(0.6)
+        assert value != pytest.approx(1.0)  # the renormalized answer
+
+    def test_accepts_stacked_matrices(self):
+        grads = np.array([[1.0, 0.0], [0.0, 1.0]])
+        momenta = np.array([[-1.0, 0.0], [0.0, 1.0]])
+        value = cosine_agreement(grads, momenta, np.array([0.5, 0.5]))
+        assert value == pytest.approx(0.5 - 0.5)
+
     def test_scale_invariance(self):
         grad = [np.array([0.3, -0.7])]
         momentum = [np.array([-1.2, 2.8])]
@@ -145,3 +165,39 @@ class TestController:
     def test_invalid_mode_raises(self):
         with pytest.raises(ValueError):
             AdaptiveGammaController(1, 2, mode="delta")
+
+    @pytest.mark.parametrize("mode", ["velocity", "y"])
+    def test_accumulate_all_matches_per_worker(self, mode):
+        """The stacked fast path is step-for-step equal to the loop."""
+        rng = np.random.default_rng(0)
+        stacked = AdaptiveGammaController(3, 4, mode=mode)
+        looped = AdaptiveGammaController(3, 4, mode=mode)
+        for step in range(4):
+            grads = rng.normal(size=(3, 4))
+            y_prev = rng.normal(size=(3, 4))
+            velocity = rng.normal(size=(3, 4))
+            stacked.accumulate_all(grads, y_prev, velocity)
+            for worker in range(3):
+                looped.accumulate(
+                    worker, grads[worker], y_prev[worker], velocity[worker]
+                )
+            if step == 1:
+                # Stagger boundaries so the masked path is exercised too.
+                stacked.reset_workers([1])
+                looped.reset_workers([1])
+        assert np.array_equal(stacked.grad_sums, looped.grad_sums)
+        assert np.array_equal(stacked.momentum_sums, looped.momentum_sums)
+        assert np.array_equal(stacked._boundary, looped._boundary)
+
+    def test_gamma_for_edge_accepts_slice(self):
+        controller = AdaptiveGammaController(3, 2, mode="y")
+        for worker in range(3):
+            controller.accumulate(
+                worker, np.array([1.0, 0.0]), np.array([-1.0, 0.0]),
+                np.zeros(2),
+            )
+        by_list = controller.gamma_for_edge([0, 1], np.array([0.5, 0.5]))
+        by_slice = controller.gamma_for_edge(
+            slice(0, 2), np.array([0.5, 0.5])
+        )
+        assert by_list == by_slice == GAMMA_CAP

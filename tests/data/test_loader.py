@@ -51,6 +51,16 @@ class TestBatchSampler:
         with pytest.raises(ValueError):
             BatchSampler(empty, 4, rng=0)
 
+    def test_empty_dataset_reported_before_bad_batch_size(self):
+        """Empty dataset is the first failure, even with an invalid batch.
+
+        Regression: the batch-size clamp used to run before the emptiness
+        check, so BatchSampler(empty, 0) blamed the batch size.
+        """
+        empty = Dataset(np.zeros((0, 1)), np.zeros(0, dtype=int), 1)
+        with pytest.raises(ValueError, match="empty dataset"):
+            BatchSampler(empty, 0, rng=0)
+
     def test_partial_tail_not_emitted(self):
         """10 samples, batch 4 -> epochs of 2 full batches, then reshuffle."""
         sampler = BatchSampler(toy(10), 4, rng=0)

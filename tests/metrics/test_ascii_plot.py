@@ -26,6 +26,17 @@ class TestSparkline:
         with pytest.raises(ValueError):
             sparkline([])
 
+    def test_nan_entries_render_blank(self):
+        """Histories carry NaN markers (train_loss[0]); render as gaps."""
+        line = sparkline([float("nan"), 0.0, 1.0])
+        assert line == " ▁█"
+
+    def test_all_nan_renders_blank_line(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+    def test_nan_in_constant_series(self):
+        assert sparkline([5.0, float("nan"), 5.0]) == "▁ ▁"
+
 
 class TestAsciiCurve:
     def test_dimensions(self):
@@ -41,6 +52,17 @@ class TestAsciiCurve:
     def test_mismatched_lengths_raise(self):
         with pytest.raises(ValueError):
             ascii_curve([1, 2], [1])
+
+    def test_nan_points_skipped(self):
+        """A NaN y value (pre-training train_loss) is dropped, the rest
+        plot with bounds from the finite points only."""
+        text = ascii_curve([0, 1, 2], [float("nan"), 1.0, 2.0], height=4)
+        assert "2.000" in text and "1.000" in text
+        assert "nan" not in text
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError, match="finite"):
+            ascii_curve([0, 1], [float("nan")] * 2)
 
     def test_monotone_curve_descends_grid(self):
         """Top-left to bottom-right for a decreasing series."""

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn import Dense, ReLU, Sequential
-from repro.nn.module import Module, Parameter
+from repro.nn.module import FlatParamBuffer, Module, Parameter
 
 
 class TestParameter:
@@ -78,6 +78,80 @@ class TestFlatParams:
         assert layer.get_flat_grads().any()
         layer.zero_grad()
         assert not layer.get_flat_grads().any()
+
+
+class TestFlatParamBuffer:
+    def test_parameters_view_shared_storage(self):
+        """After buffer creation, param.data/grad view the flat vectors."""
+        layer = Dense(3, 2, rng=0)
+        buffer = layer.flat_buffer()
+        assert isinstance(buffer, FlatParamBuffer)
+        before = layer.weight.data.copy()
+        assert np.array_equal(buffer.data[: before.size], before.ravel())
+        # Writing the flat vector is visible through the parameter view...
+        buffer.data[0] = 42.0
+        assert layer.weight.data[0, 0] == 42.0
+        # ...and writing the view is visible in the flat vector.
+        layer.weight.data[0, 1] = -7.0
+        assert buffer.data[1] == -7.0
+
+    def test_grads_zero_copy(self):
+        layer = Dense(2, 2, rng=0)
+        flat_grads = layer.get_flat_grads()
+        layer.weight.grad += 3.0
+        assert flat_grads[: layer.weight.size].sum() == 3.0 * 4
+        layer.zero_grad()
+        assert not flat_grads.any()  # same storage, zeroed by fill
+
+    def test_buffer_cached_across_calls(self):
+        net = Sequential(Dense(3, 4, rng=0), Dense(4, 2, rng=1))
+        assert net.flat_buffer() is net.flat_buffer()
+        assert net.parameters() is net.parameters()
+
+    def test_append_invalidates_and_rebuilds(self):
+        net = Sequential(Dense(2, 2, rng=0))
+        first = net.flat_buffer()
+        values = net.get_flat_params()
+        net.append(Dense(2, 2, rng=1))
+        second = net.flat_buffer()
+        assert second is not first
+        assert second.dim == first.dim + 6
+        # Pre-append parameter values survive the rebind.
+        assert np.array_equal(second.data[: first.dim], values)
+
+    def test_child_access_steals_then_parent_rebuilds(self):
+        """Flat access on a child rebinds its params; the parent notices
+        the stolen binding and rebuilds instead of writing stale storage."""
+        child = Dense(2, 2, rng=0)
+        net = Sequential(child, Dense(2, 2, rng=1))
+        net.set_flat_params(np.arange(12.0))
+        child.set_flat_params(np.zeros(6))  # steals child's params
+        net.set_flat_params(np.arange(12.0, 24.0))  # must rebuild
+        assert np.array_equal(net.get_flat_params(), np.arange(12.0, 24.0))
+        assert child.weight.data.ravel()[0] == 12.0
+
+    def test_layout_matches_flatten_arrays(self):
+        """The buffer's layout equals the reference concatenation order."""
+        from repro.utils.flatten import flatten_arrays
+
+        net = Sequential(Dense(3, 4, rng=0), ReLU(), Dense(4, 2, rng=1))
+        reference = flatten_arrays([p.data for p in net.parameters()])
+        assert np.array_equal(net.get_flat_params(), reference)
+
+    def test_forward_backward_unchanged_by_buffering(self):
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        fresh = Dense(3, 2, rng=7)
+        expected = fresh.forward(x)
+        buffered = Dense(3, 2, rng=7)
+        buffered.flat_buffer()
+        assert np.allclose(buffered.forward(x), expected)
+        grad_out = np.ones((5, 2))
+        assert np.allclose(
+            buffered.backward(grad_out), fresh.backward(grad_out)
+        )
+        assert np.allclose(
+            buffered.get_flat_grads(), fresh.get_flat_grads()
+        )
 
 
 class TestSequential:
