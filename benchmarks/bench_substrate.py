@@ -18,6 +18,8 @@ from repro.data import Dataset
 from repro.nn.models import make_cnn, make_logistic_regression, make_mlp
 from repro.utils.flatten import flatten_arrays, unflatten_like
 
+from .recorder import record_bench
+
 RNG = np.random.default_rng(0)
 
 
@@ -247,6 +249,13 @@ def test_bench_buffered_vs_legacy_plumbing():
         f"dim={dim}: legacy {legacy_time * 1e6:.0f} us, "
         f"buffered {buffered_time * 1e6:.0f} us -> {speedup:.1f}x"
     )
+    record_bench("substrate", "plumbing_round", {
+        "workers": fed.num_workers,
+        "dim": dim,
+        "legacy_us": legacy_time * 1e6,
+        "buffered_us": buffered_time * 1e6,
+        "speedup": speedup,
+    })
     assert speedup >= 2.0, (
         f"buffered plumbing only {speedup:.2f}x faster than legacy"
     )
@@ -291,6 +300,13 @@ def test_bench_buffered_vs_legacy_iteration():
         f"dim={fed.dim}: legacy {legacy_time * 1e6:.0f} us, "
         f"buffered {buffered_time * 1e6:.0f} us -> {speedup:.2f}x"
     )
+    record_bench("substrate", "hieradmo_iteration", {
+        "workers": fed.num_workers,
+        "dim": fed.dim,
+        "legacy_us": legacy_time * 1e6,
+        "buffered_us": buffered_time * 1e6,
+        "speedup": speedup,
+    })
     assert speedup >= 1.0, (
         f"buffered end-to-end iteration slower than legacy ({speedup:.2f}x)"
     )

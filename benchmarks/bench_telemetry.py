@@ -1,0 +1,152 @@
+"""Telemetry overhead benchmarks (PR acceptance: disabled ≤ 2%).
+
+Three variants of the same HierAdMo worker-iteration loop on the
+small-MLP bench federation:
+
+* ``untraced`` — a replica of the iteration body with no telemetry calls
+  at all (the pre-telemetry code, kept inline here as the baseline);
+* ``disabled`` — the live instrumented code with the null tracer
+  installed (the default), which must stay within 2% of ``untraced``;
+* ``enabled``  — the live code with a recording tracer, to document what
+  tracing actually costs when you ask for it.
+
+Results land in ``BENCH_telemetry.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.core import Federation, HierAdMo
+from repro.data import Dataset
+from repro.nn.models import make_mlp
+
+from .recorder import record_bench
+
+# The acceptance threshold for the disabled-tracer ("null tracer") path.
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def _time_min(fn, repeats=9, iters=20):
+    """Best-of-repeats mean iteration time (robust to scheduler noise)."""
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best / iters
+
+
+def _make_bench_federation(num_edges=4, per_edge=6):
+    """Small MLP (dim 421), 24 workers across 4 edges."""
+    rng = np.random.default_rng(7)
+    edges = [
+        [
+            Dataset(rng.normal(size=(96, 20)), rng.integers(0, 5, 96), 5)
+            for _ in range(per_edge)
+        ]
+        for _ in range(num_edges)
+    ]
+    model = make_mlp(20, (16,), 5, rng=8)
+    return Federation(model, edges, edges[0][0], batch_size=8, seed=9)
+
+
+def _make_algo():
+    fed = _make_bench_federation()
+    algo = HierAdMo(fed, tau=10**9, pi=1)
+    algo.history = fed.new_history("bench", {})
+    algo._setup()
+    return fed, algo
+
+
+def _untraced_iteration(fed, algo):
+    """The worker-iteration body with no telemetry calls, for baseline."""
+    grads = algo._grads
+    total_loss = 0.0
+    for worker in range(fed.num_workers):
+        _, loss = fed.gradient(worker, algo.x[worker], out=grads[worker])
+        total_loss += loss
+    y_new = algo.x - algo.eta * grads
+    velocity = y_new - algo.y
+    algo.controller.accumulate_all(grads, algo.y, velocity)
+    algo.x = y_new + algo.gamma * velocity
+    algo.y = y_new
+    return total_loss / fed.num_workers
+
+
+def test_bench_null_tracer_overhead():
+    """Disabled-tracer iteration within 2% of the untraced replica."""
+    telemetry.disable()
+    fed, algo = _make_algo()
+
+    def untraced():
+        _untraced_iteration(fed, algo)
+
+    untraced()  # warm-up both paths
+    algo._worker_iteration()
+    untraced_time = _time_min(untraced)
+    disabled_time = _time_min(algo._worker_iteration)
+
+    with telemetry.tracing():
+        algo._worker_iteration()  # warm-up the recording path
+        enabled_time = _time_min(algo._worker_iteration)
+
+    overhead = disabled_time / untraced_time - 1.0
+    enabled_overhead = enabled_time / untraced_time - 1.0
+    print(
+        f"\n[bench] telemetry overhead, {fed.num_workers} workers, "
+        f"dim={fed.dim}: untraced {untraced_time * 1e6:.0f} us, "
+        f"disabled {disabled_time * 1e6:.0f} us ({overhead:+.1%}), "
+        f"enabled {enabled_time * 1e6:.0f} us ({enabled_overhead:+.1%})"
+    )
+    record_bench("telemetry", "null_tracer_overhead", {
+        "workers": fed.num_workers,
+        "dim": fed.dim,
+        "untraced_us": untraced_time * 1e6,
+        "disabled_us": disabled_time * 1e6,
+        "enabled_us": enabled_time * 1e6,
+        "disabled_overhead": overhead,
+        "enabled_overhead": enabled_overhead,
+        "threshold": MAX_DISABLED_OVERHEAD,
+    })
+    assert overhead <= MAX_DISABLED_OVERHEAD, (
+        f"disabled-tracer iteration {overhead:+.1%} over the untraced "
+        f"baseline (budget {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+
+
+def test_bench_span_primitives():
+    """Raw cost of one span enter/exit, counter bump and observation."""
+    tracer = telemetry.Tracer()
+
+    def one_span():
+        with tracer.span("bench"):
+            pass
+
+    null = telemetry.NULL_TRACER
+
+    def one_null_span():
+        with null.span("bench"):
+            pass
+
+    span_ns = _time_min(one_span, iters=1000) * 1e9
+    null_ns = _time_min(one_null_span, iters=1000) * 1e9
+    count_ns = _time_min(lambda: tracer.count("c"), iters=1000) * 1e9
+    observe_ns = _time_min(lambda: tracer.observe("h", 1.0), iters=1000) * 1e9
+    print(
+        f"\n[bench] span {span_ns:.0f} ns, null span {null_ns:.0f} ns, "
+        f"count {count_ns:.0f} ns, observe {observe_ns:.0f} ns"
+    )
+    record_bench("telemetry", "primitives", {
+        "span_ns": span_ns,
+        "null_span_ns": null_ns,
+        "count_ns": count_ns,
+        "observe_ns": observe_ns,
+    })
+    # Sanity only: the null span must be far cheaper than a real one.
+    assert null_ns < span_ns

@@ -22,6 +22,7 @@ from repro.algorithms import (
 )
 from repro.core import Federation, HierAdMo, HierAdMoR
 from repro.data import Dataset, make_dataset, partition, train_test_split
+from repro import telemetry
 from repro.experiments import ExperimentConfig, run_many, run_single
 from repro.metrics import TrainingHistory
 from repro.topology import Topology
@@ -45,4 +46,5 @@ __all__ = [
     "ALGORITHM_REGISTRY",
     "THREE_TIER_ALGORITHMS",
     "TWO_TIER_ALGORITHMS",
+    "telemetry",
 ]

@@ -23,6 +23,7 @@ import numpy as np
 from repro.algorithms.hierarchical import HierFAVG
 from repro.compression import Compressor, NoCompression
 from repro.core.federation import Federation
+from repro.telemetry import get_tracer
 
 __all__ = ["QuantizedHierFAVG"]
 
@@ -61,37 +62,58 @@ class QuantizedHierFAVG(HierFAVG):
         self.uplink_payload_bytes = 0.0
 
     def _edge_aggregate(self, redistribute: bool = True) -> None:
-        fed = self.fed
-        for edge in range(fed.num_edges):
-            rows = fed.edge_slices[edge]
-            indices = fed.topology.edge_worker_indices(edge)
-            weights = fed.worker_w_in_edge[edge]
-            aggregate_delta = np.zeros(fed.dim)
-            for weight, index in zip(weights, indices):
-                delta = self.x[index] - self.worker_sync[index]
-                result = self.compressor.compress(delta)
-                self.uplink_payload_bytes += result.payload_bytes
-                aggregate_delta += weight * result.vector
-            # All of an edge's workers share the same sync point.
-            edge_model = self.worker_sync[indices[0]] + aggregate_delta
-            self.edge_models[edge] = edge_model
+        with get_tracer().span("edge_agg"):
+            fed = self.fed
+            round_bytes = 0.0
+            for edge in range(fed.num_edges):
+                rows = fed.edge_slices[edge]
+                indices = fed.topology.edge_worker_indices(edge)
+                weights = fed.worker_w_in_edge[edge]
+                aggregate_delta = np.zeros(fed.dim)
+                for weight, index in zip(weights, indices):
+                    delta = self.x[index] - self.worker_sync[index]
+                    result = self.compressor.compress(delta)
+                    round_bytes += result.payload_bytes
+                    aggregate_delta += weight * result.vector
+                # All of an edge's workers share the same sync point.
+                edge_model = self.worker_sync[indices[0]] + aggregate_delta
+                self.edge_models[edge] = edge_model
+                if redistribute:
+                    self.x[rows] = edge_model
+                    self.worker_sync[rows] = edge_model
+            self.uplink_payload_bytes += round_bytes
+            # The ledger counts logical exchanges at full payload; the
+            # actual wire bytes after compression live in
+            # ``uplink_payload_bytes`` and the tracer counter below.
+            transfers = fed.num_workers
             if redistribute:
-                self.x[rows] = edge_model
-                self.worker_sync[rows] = edge_model
-        self.history.worker_edge_rounds += 1
+                transfers += fed.num_workers
+            self.history.comm.record_worker_edge(transfers)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.count("comm.compressed_uplink_bytes", round_bytes)
 
     def _cloud_aggregate(self, to_workers: bool = True) -> None:
-        fed = self.fed
-        aggregate_delta = np.zeros(fed.dim)
-        for edge in range(fed.num_edges):
-            delta = self.edge_models[edge] - self.edge_sync[edge]
-            result = self.compressor.compress(delta)
-            self.uplink_payload_bytes += result.payload_bytes
-            aggregate_delta += fed.edge_w[edge] * result.vector
-        global_model = self.edge_sync[0] + aggregate_delta
-        self.edge_models[:] = global_model
-        self.edge_sync[:] = global_model
-        if to_workers:
-            self.x[:] = global_model
-            self.worker_sync[:] = global_model
-        self.history.edge_cloud_rounds += 1
+        with get_tracer().span("cloud_agg"):
+            fed = self.fed
+            round_bytes = 0.0
+            aggregate_delta = np.zeros(fed.dim)
+            for edge in range(fed.num_edges):
+                delta = self.edge_models[edge] - self.edge_sync[edge]
+                result = self.compressor.compress(delta)
+                round_bytes += result.payload_bytes
+                aggregate_delta += fed.edge_w[edge] * result.vector
+            global_model = self.edge_sync[0] + aggregate_delta
+            self.edge_models[:] = global_model
+            self.edge_sync[:] = global_model
+            self.uplink_payload_bytes += round_bytes
+            self.history.comm.record_edge_cloud(2 * fed.num_edges)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.count("comm.compressed_uplink_bytes", round_bytes)
+            if to_workers:
+                self.x[:] = global_model
+                self.worker_sync[:] = global_model
+                self.history.comm.record_worker_edge(
+                    fed.num_workers, rounds=0
+                )

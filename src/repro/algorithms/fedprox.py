@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.algorithms.twotier import TwoTierAlgorithm
 from repro.core.federation import Federation
+from repro.telemetry import get_tracer
 from repro.utils.validation import check_positive
 
 __all__ = ["FedProx"]
@@ -44,19 +45,21 @@ class FedProx(TwoTierAlgorithm):
         self.global_params = self.fed.initial_params()
 
     def _step(self, t: int) -> float:
-        grads = self._grads
-        total = 0.0
-        for worker in range(self.fed.num_workers):
-            _, loss = self.fed.gradient(
-                worker, self.x[worker], out=grads[worker]
-            )
-            total += loss
-        proximal = self.mu * (self.x - self.global_params)
-        self.x -= self.eta * (grads + proximal)
+        with get_tracer().span("worker_step"):
+            grads = self._grads
+            total = 0.0
+            for worker in range(self.fed.num_workers):
+                _, loss = self.fed.gradient(
+                    worker, self.x[worker], out=grads[worker]
+                )
+                total += loss
+            proximal = self.mu * (self.x - self.global_params)
+            self.x -= self.eta * (grads + proximal)
         if t % self.tau == 0:
-            self.global_params = self._average_models()
-            self._broadcast(self.global_params)
-            self.history.edge_cloud_rounds += 1
+            with get_tracer().span("cloud_agg"):
+                self.global_params = self._average_models()
+                self._broadcast(self.global_params)
+                self._record_round()
         return total / self.fed.num_workers
 
     def _global_params(self) -> np.ndarray:

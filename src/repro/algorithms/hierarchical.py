@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.base import FLAlgorithm
 from repro.core.federation import Federation
+from repro.telemetry import get_tracer
 from repro.utils.validation import check_positive_int
 
 __all__ = ["HierFAVG", "CFL"]
@@ -51,30 +52,41 @@ class HierFAVG(FLAlgorithm):
         self._grads = np.empty_like(self.x)
 
     def _local_iteration(self) -> float:
-        grads = self._grads
-        total = 0.0
-        for worker in range(self.fed.num_workers):
-            _, loss = self.fed.gradient(
-                worker, self.x[worker], out=grads[worker]
-            )
-            total += loss
-        self.x -= self.eta * grads
-        return total / self.fed.num_workers
+        with get_tracer().span("worker_step"):
+            grads = self._grads
+            total = 0.0
+            for worker in range(self.fed.num_workers):
+                _, loss = self.fed.gradient(
+                    worker, self.x[worker], out=grads[worker]
+                )
+                total += loss
+            self.x -= self.eta * grads
+            return total / self.fed.num_workers
 
     def _edge_aggregate(self, redistribute: bool = True) -> None:
-        fed = self.fed
-        self.edge_models[:] = fed.edge_average_all(self.x)
-        if redistribute:
-            for edge in range(fed.num_edges):
-                self.x[fed.edge_slices[edge]] = self.edge_models[edge]
-        self.history.worker_edge_rounds += 1
+        with get_tracer().span("edge_agg"):
+            fed = self.fed
+            self.edge_models[:] = fed.edge_average_all(self.x)
+            transfers = fed.num_workers  # uploads
+            if redistribute:
+                for edge in range(fed.num_edges):
+                    self.x[fed.edge_slices[edge]] = self.edge_models[edge]
+                transfers += fed.num_workers  # downloads
+            self.history.comm.record_worker_edge(transfers)
 
     def _cloud_aggregate(self, to_workers: bool = True) -> None:
-        global_model = self.fed.cloud_average_edges(self.edge_models)
-        self.edge_models[:] = global_model
-        if to_workers:
-            self.x[:] = global_model
-        self.history.edge_cloud_rounds += 1
+        with get_tracer().span("cloud_agg"):
+            fed = self.fed
+            global_model = fed.cloud_average_edges(self.edge_models)
+            self.edge_models[:] = global_model
+            self.history.comm.record_edge_cloud(2 * fed.num_edges)
+            if to_workers:
+                self.x[:] = global_model
+                # Post-cloud broadcast down to workers (LAN traffic; CFL
+                # skips exactly this).
+                self.history.comm.record_worker_edge(
+                    fed.num_workers, rounds=0
+                )
 
     def _step(self, t: int) -> float:
         loss = self._local_iteration()
@@ -110,17 +122,21 @@ class CFL(HierFAVG):
     def _step(self, t: int) -> float:
         loss = self._local_iteration()
         if t % self.tau == 0:
-            for edge in range(self.fed.num_edges):
-                fresh = self.fed.edge_average(edge, self.x)
-                if self._cloud_pending[edge]:
-                    # Fold in the cloud model the workers never received.
-                    merged = 0.5 * (fresh + self.edge_models[edge])
-                    self._cloud_pending[edge] = False
-                else:
-                    merged = fresh
-                self.edge_models[edge] = merged
-                self.x[self.fed.edge_slices[edge]] = merged
-            self.history.worker_edge_rounds += 1
+            with get_tracer().span("edge_agg"):
+                for edge in range(self.fed.num_edges):
+                    fresh = self.fed.edge_average(edge, self.x)
+                    if self._cloud_pending[edge]:
+                        # Fold in the cloud model the workers never
+                        # received.
+                        merged = 0.5 * (fresh + self.edge_models[edge])
+                        self._cloud_pending[edge] = False
+                    else:
+                        merged = fresh
+                    self.edge_models[edge] = merged
+                    self.x[self.fed.edge_slices[edge]] = merged
+                self.history.comm.record_worker_edge(
+                    2 * self.fed.num_workers
+                )
         if t % (self.tau * self.pi) == 0:
             self._cloud_aggregate(to_workers=False)
             self._cloud_pending = [True] * self.fed.num_edges

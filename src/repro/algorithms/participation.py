@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.algorithms.twotier import TwoTierAlgorithm
 from repro.core.federation import Federation
+from repro.telemetry import get_tracer
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_in_range
 
@@ -60,20 +61,23 @@ class SampledFedAvg(TwoTierAlgorithm):
         self.x[self.active] = self.server_params
 
     def _step(self, t: int) -> float:
-        grads = self._grads
-        total = 0.0
-        for worker in self.active:
-            _, loss = self.fed.gradient(
-                worker, self.x[worker], out=grads[worker]
-            )
-            total += loss
-        self.x[self.active] -= self.eta * grads[self.active]
+        with get_tracer().span("worker_step"):
+            grads = self._grads
+            total = 0.0
+            for worker in self.active:
+                _, loss = self.fed.gradient(
+                    worker, self.x[worker], out=grads[worker]
+                )
+                total += loss
+            self.x[self.active] -= self.eta * grads[self.active]
         if t % self.tau == 0:
-            weights = self.fed.global_worker_w[self.active]
-            weights = weights / weights.sum()
-            self.server_params = weights @ self.x[self.active]
-            self.history.edge_cloud_rounds += 1
-            self._sample_round()
+            with get_tracer().span("cloud_agg"):
+                weights = self.fed.global_worker_w[self.active]
+                weights = weights / weights.sum()
+                self.server_params = weights @ self.x[self.active]
+                # Only the sampled workers exchange state this round.
+                self._record_round(len(self.active))
+                self._sample_round()
         return total / len(self.active)
 
     def _global_params(self) -> np.ndarray:

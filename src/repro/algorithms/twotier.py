@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.base import FLAlgorithm
 from repro.core.federation import Federation
+from repro.telemetry import get_tracer
 from repro.utils.validation import (
     check_fraction,
     check_positive,
@@ -71,17 +72,29 @@ class TwoTierAlgorithm(FLAlgorithm):
     def _global_params(self) -> np.ndarray:
         return self._average_models()
 
+    def _record_round(self, participants: int | None = None) -> None:
+        """Ledger entry for one aggregation round.
+
+        Two-tier workers talk to the cloud directly, so a round is one
+        upload + one download per participating worker on the
+        edge↔cloud (WAN) tier.
+        """
+        if participants is None:
+            participants = self.fed.num_workers
+        self.history.comm.record_edge_cloud(2 * participants)
+
     def _local_sgd_iteration(self) -> float:
         """One plain SGD step on every worker; returns mean batch loss."""
-        grads = self._grads
-        total = 0.0
-        for worker in range(self.fed.num_workers):
-            _, loss = self.fed.gradient(
-                worker, self.x[worker], out=grads[worker]
-            )
-            total += loss
-        self.x -= self.eta * grads
-        return total / self.fed.num_workers
+        with get_tracer().span("worker_step"):
+            grads = self._grads
+            total = 0.0
+            for worker in range(self.fed.num_workers):
+                _, loss = self.fed.gradient(
+                    worker, self.x[worker], out=grads[worker]
+                )
+                total += loss
+            self.x -= self.eta * grads
+            return total / self.fed.num_workers
 
 
 class FedAvg(TwoTierAlgorithm):
@@ -92,8 +105,9 @@ class FedAvg(TwoTierAlgorithm):
     def _step(self, t: int) -> float:
         loss = self._local_sgd_iteration()
         if t % self.tau == 0:
-            self._broadcast(self._average_models())
-            self.history.edge_cloud_rounds += 1
+            with get_tracer().span("cloud_agg"):
+                self._broadcast(self._average_models())
+                self._record_round()
         return loss
 
 
@@ -105,6 +119,7 @@ class FedNAG(TwoTierAlgorithm):
     """
 
     name = "FedNAG"
+    payload_multiplier = 2.0  # ships model + momentum each round
 
     def __init__(
         self,
@@ -125,20 +140,22 @@ class FedNAG(TwoTierAlgorithm):
         self.y = self.x.copy()
 
     def _step(self, t: int) -> float:
-        grads = self._grads
-        total = 0.0
-        for worker in range(self.fed.num_workers):
-            _, loss = self.fed.gradient(
-                worker, self.x[worker], out=grads[worker]
-            )
-            total += loss
-        y_new = self.x - self.eta * grads
-        self.x = y_new + self.gamma * (y_new - self.y)
-        self.y = y_new
+        with get_tracer().span("worker_step"):
+            grads = self._grads
+            total = 0.0
+            for worker in range(self.fed.num_workers):
+                _, loss = self.fed.gradient(
+                    worker, self.x[worker], out=grads[worker]
+                )
+                total += loss
+            y_new = self.x - self.eta * grads
+            self.x = y_new + self.gamma * (y_new - self.y)
+            self.y = y_new
         if t % self.tau == 0:
-            self.x[:] = self._average_models()
-            self.y[:] = self.fed.global_average_workers(self.y)
-            self.history.edge_cloud_rounds += 1
+            with get_tracer().span("cloud_agg"):
+                self.x[:] = self._average_models()
+                self.y[:] = self.fed.global_average_workers(self.y)
+                self._record_round()
         return total / self.fed.num_workers
 
 
@@ -173,11 +190,14 @@ class FedMom(TwoTierAlgorithm):
     def _step(self, t: int) -> float:
         loss = self._local_sgd_iteration()
         if t % self.tau == 0:
-            delta = self.server_params - self._average_models()
-            self.server_momentum = self.beta * self.server_momentum + delta
-            self.server_params = self.server_params - self.server_momentum
-            self._broadcast(self.server_params)
-            self.history.edge_cloud_rounds += 1
+            with get_tracer().span("cloud_agg"):
+                delta = self.server_params - self._average_models()
+                self.server_momentum = (
+                    self.beta * self.server_momentum + delta
+                )
+                self.server_params = self.server_params - self.server_momentum
+                self._broadcast(self.server_params)
+                self._record_round()
         return loss
 
     def _global_params(self) -> np.ndarray:
@@ -217,13 +237,19 @@ class SlowMo(TwoTierAlgorithm):
     def _step(self, t: int) -> float:
         loss = self._local_sgd_iteration()
         if t % self.tau == 0:
-            pseudo_grad = (self.server_params - self._average_models()) / self.eta
-            self.slow_momentum = self.beta * self.slow_momentum + pseudo_grad
-            self.server_params = (
-                self.server_params - self.alpha * self.eta * self.slow_momentum
-            )
-            self._broadcast(self.server_params)
-            self.history.edge_cloud_rounds += 1
+            with get_tracer().span("cloud_agg"):
+                pseudo_grad = (
+                    self.server_params - self._average_models()
+                ) / self.eta
+                self.slow_momentum = (
+                    self.beta * self.slow_momentum + pseudo_grad
+                )
+                self.server_params = (
+                    self.server_params
+                    - self.alpha * self.eta * self.slow_momentum
+                )
+                self._broadcast(self.server_params)
+                self._record_round()
         return loss
 
     def _global_params(self) -> np.ndarray:
@@ -240,6 +266,9 @@ class Mime(TwoTierAlgorithm):
     """
 
     name = "Mime"
+    # Broadcasts the server statistic alongside the model; the round's
+    # extra gradient exchange is folded into the same multiplier.
+    payload_multiplier = 2.0
 
     def __init__(
         self,
@@ -260,26 +289,29 @@ class Mime(TwoTierAlgorithm):
         self.server_state = np.zeros(self.fed.dim)
 
     def _step(self, t: int) -> float:
-        grads = self._grads
-        total = 0.0
-        for worker in range(self.fed.num_workers):
-            _, loss = self.fed.gradient(
-                worker, self.x[worker], out=grads[worker]
-            )
-            total += loss
-        self.x -= self.eta * (
-            (1.0 - self.beta) * grads + self.beta * self.server_state
-        )
-        if t % self.tau == 0:
-            x_bar = self._average_models()
+        with get_tracer().span("worker_step"):
+            grads = self._grads
+            total = 0.0
             for worker in range(self.fed.num_workers):
-                self.fed.gradient(worker, x_bar, out=grads[worker])
-            mean_grad = self.fed.global_average_workers(grads)
-            self.server_state = (
-                (1.0 - self.beta) * mean_grad + self.beta * self.server_state
+                _, loss = self.fed.gradient(
+                    worker, self.x[worker], out=grads[worker]
+                )
+                total += loss
+            self.x -= self.eta * (
+                (1.0 - self.beta) * grads + self.beta * self.server_state
             )
-            self._broadcast(x_bar)
-            self.history.edge_cloud_rounds += 1
+        if t % self.tau == 0:
+            with get_tracer().span("cloud_agg"):
+                x_bar = self._average_models()
+                for worker in range(self.fed.num_workers):
+                    self.fed.gradient(worker, x_bar, out=grads[worker])
+                mean_grad = self.fed.global_average_workers(grads)
+                self.server_state = (
+                    (1.0 - self.beta) * mean_grad
+                    + self.beta * self.server_state
+                )
+                self._broadcast(x_bar)
+                self._record_round()
         return total / self.fed.num_workers
 
 
@@ -294,6 +326,8 @@ class FedADC(TwoTierAlgorithm):
     """
 
     name = "FedADC"
+    # Broadcasts the server momentum alongside the model each round.
+    payload_multiplier = 2.0
 
     def __init__(
         self,
@@ -316,27 +350,29 @@ class FedADC(TwoTierAlgorithm):
         self.local_momentum = np.zeros((self.fed.num_workers, self.fed.dim))
 
     def _step(self, t: int) -> float:
-        grads = self._grads
-        total = 0.0
-        for worker in range(self.fed.num_workers):
-            _, loss = self.fed.gradient(
-                worker, self.x[worker], out=grads[worker]
-            )
-            total += loss
-        self.local_momentum = self.beta * self.local_momentum + grads
-        self.x -= self.eta * self.local_momentum
+        with get_tracer().span("worker_step"):
+            grads = self._grads
+            total = 0.0
+            for worker in range(self.fed.num_workers):
+                _, loss = self.fed.gradient(
+                    worker, self.x[worker], out=grads[worker]
+                )
+                total += loss
+            self.local_momentum = self.beta * self.local_momentum + grads
+            self.x -= self.eta * self.local_momentum
         if t % self.tau == 0:
-            pseudo_grad = (
-                self.server_params - self._average_models()
-            ) / (self.eta * self.tau)
-            self.server_momentum = (
-                self.beta * self.server_momentum
-                + (1.0 - self.beta) * pseudo_grad
-            )
-            self.server_params = self._average_models()
-            self._broadcast(self.server_params)
-            self.local_momentum[:] = self.server_momentum
-            self.history.edge_cloud_rounds += 1
+            with get_tracer().span("cloud_agg"):
+                pseudo_grad = (
+                    self.server_params - self._average_models()
+                ) / (self.eta * self.tau)
+                self.server_momentum = (
+                    self.beta * self.server_momentum
+                    + (1.0 - self.beta) * pseudo_grad
+                )
+                self.server_params = self._average_models()
+                self._broadcast(self.server_params)
+                self.local_momentum[:] = self.server_momentum
+                self._record_round()
         return total / self.fed.num_workers
 
     def _global_params(self) -> np.ndarray:
@@ -352,6 +388,8 @@ class FastSlowMo(TwoTierAlgorithm):
     """
 
     name = "FastSlowMo"
+    # Ships the worker model and its NAG momentum every round.
+    payload_multiplier = 2.0
 
     def __init__(
         self,
@@ -383,27 +421,32 @@ class FastSlowMo(TwoTierAlgorithm):
         self.slow_momentum = np.zeros(self.fed.dim)
 
     def _step(self, t: int) -> float:
-        grads = self._grads
-        total = 0.0
-        for worker in range(self.fed.num_workers):
-            _, loss = self.fed.gradient(
-                worker, self.x[worker], out=grads[worker]
-            )
-            total += loss
-        y_new = self.x - self.eta * grads
-        self.x = y_new + self.gamma * (y_new - self.y)
-        self.y = y_new
+        with get_tracer().span("worker_step"):
+            grads = self._grads
+            total = 0.0
+            for worker in range(self.fed.num_workers):
+                _, loss = self.fed.gradient(
+                    worker, self.x[worker], out=grads[worker]
+                )
+                total += loss
+            y_new = self.x - self.eta * grads
+            self.x = y_new + self.gamma * (y_new - self.y)
+            self.y = y_new
         if t % self.tau == 0:
-            x_bar = self._average_models()
-            y_bar = self.fed.global_average_workers(self.y)
-            pseudo_grad = (self.server_params - x_bar) / self.eta
-            self.slow_momentum = self.beta * self.slow_momentum + pseudo_grad
-            self.server_params = (
-                self.server_params - self.alpha * self.eta * self.slow_momentum
-            )
-            self.x[:] = self.server_params
-            self.y[:] = y_bar
-            self.history.edge_cloud_rounds += 1
+            with get_tracer().span("cloud_agg"):
+                x_bar = self._average_models()
+                y_bar = self.fed.global_average_workers(self.y)
+                pseudo_grad = (self.server_params - x_bar) / self.eta
+                self.slow_momentum = (
+                    self.beta * self.slow_momentum + pseudo_grad
+                )
+                self.server_params = (
+                    self.server_params
+                    - self.alpha * self.eta * self.slow_momentum
+                )
+                self.x[:] = self.server_params
+                self.y[:] = y_bar
+                self._record_round()
         return total / self.fed.num_workers
 
     def _global_params(self) -> np.ndarray:

@@ -7,6 +7,7 @@ Usage examples::
     python -m repro noniid --levels 3 6 9
     python -m repro adaptive --gamma 0.6
     python -m repro timing --target 0.9
+    python -m repro trace --algorithm HierAdMo --iterations 60
     python -m repro list
 """
 
@@ -96,6 +97,20 @@ def build_parser() -> argparse.ArgumentParser:
     timing_parser = sub.add_parser("timing", help="Fig 2(h/l) replay")
     timing_parser.add_argument("--target", type=float, default=0.9)
     _add_config_arguments(timing_parser)
+
+    trace_parser = sub.add_parser(
+        "trace", help="run one algorithm with tracing, print the profile"
+    )
+    trace_parser.add_argument(
+        "--algorithm", default="HierAdMo", choices=sorted(ALGORITHM_REGISTRY)
+    )
+    trace_parser.add_argument(
+        "--top", type=int, default=5, help="slowest spans to show"
+    )
+    trace_parser.add_argument(
+        "--save-trace", help="write the full JSONL trace here"
+    )
+    _add_config_arguments(trace_parser)
 
     sweep_parser = sub.add_parser(
         "sweep", help="grid sweep, e.g. --grid eta=0.01,0.05 tau=5,10"
@@ -209,6 +224,23 @@ def main(argv: list[str] | None = None) -> int:
         best, best_accuracy = best_fixed_gamma(results)
         print(json.dumps(results, indent=2))
         print(f"best fixed gamma_l: {best} at {best_accuracy:.4f}")
+        return 0
+
+    if args.command == "trace":
+        from repro import telemetry
+        from repro.metrics import save_trace_jsonl
+        from repro.telemetry import format_trace_report
+
+        with telemetry.tracing() as tracer:
+            history = run_single(args.algorithm, config)
+        print(f"{args.algorithm}: final accuracy "
+              f"{history.final_accuracy:.4f} over "
+              f"{config.total_iterations} iterations")
+        print()
+        print(format_trace_report(tracer, history, top=args.top))
+        if args.save_trace:
+            save_trace_jsonl(tracer, args.save_trace)
+            print(f"trace written to {args.save_trace}")
         return 0
 
     if args.command == "timing":

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry import get_tracer
+
 __all__ = ["cosine_agreement", "adapt_gamma", "AdaptiveGammaController"]
 
 GAMMA_CAP = 0.99
@@ -147,12 +149,18 @@ class AdaptiveGammaController:
 
         ``worker_indices`` may be a list of flat ids or a slice.
         """
-        cosine = cosine_agreement(
-            self.grad_sums[worker_indices],
-            self.momentum_sums[worker_indices],
-            weights,
-        )
-        return adapt_gamma(cosine)
+        tracer = get_tracer()
+        with tracer.span("adapt_gamma"):
+            cosine = cosine_agreement(
+                self.grad_sums[worker_indices],
+                self.momentum_sums[worker_indices],
+                weights,
+            )
+            gamma = adapt_gamma(cosine)
+        if tracer.enabled:
+            tracer.observe("adaptive.cosine", cosine)
+            tracer.observe("adaptive.gamma", gamma)
+        return gamma
 
     def reset_workers(self, worker_indices) -> None:
         """Zero the accumulators after an edge aggregation."""

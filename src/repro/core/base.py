@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.federation import Federation
 from repro.metrics.history import TrainingHistory
+from repro.telemetry import get_tracer
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = ["FLAlgorithm"]
@@ -28,6 +29,12 @@ class FLAlgorithm:
     """Abstract federated-learning algorithm."""
 
     name = "base"
+
+    # Wire payload per transfer, in model-vector units: 1.0 for plain
+    # model shippers, 2.0 for algorithms that move model *and* momentum
+    # (or another server statistic) on every exchange.  Feeds both the
+    # run's communication ledger and the Fig. 2 timing replay.
+    payload_multiplier = 1.0
 
     def __init__(
         self,
@@ -89,6 +96,9 @@ class FLAlgorithm:
         if history is None:
             history = self.fed.new_history(self.name, self.config())
         self.history = history
+        history.comm.configure(
+            dim=self.fed.dim, payload_multiplier=self.payload_multiplier
+        )
 
         self._setup()
 
@@ -111,7 +121,7 @@ class FLAlgorithm:
                 history.diverged_at = t
                 accuracy, loss = self.fed.evaluate(self._global_params())
                 history.record_eval(t, accuracy, loss, train_loss=step_loss)
-                return history
+                return self._finish_run(history)
             running_loss += step_loss
             since_eval += 1
             if t % eval_every == 0 or t == total_iterations:
@@ -121,4 +131,11 @@ class FLAlgorithm:
                 )
                 running_loss = 0.0
                 since_eval = 0
+        return self._finish_run(history)
+
+    def _finish_run(self, history: TrainingHistory) -> TrainingHistory:
+        """Attach the tracer's aggregate view when the run was traced."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            history.trace_summary = tracer.summary()
         return history

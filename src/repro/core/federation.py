@@ -25,6 +25,7 @@ from repro.data.base import Dataset
 from repro.data.loader import BatchSampler, FullBatchSampler
 from repro.metrics.history import TrainingHistory
 from repro.nn.supervised import SupervisedModel
+from repro.telemetry import get_tracer
 from repro.topology import Topology
 from repro.utils.rng import RngStreams
 from repro.utils.validation import check_positive_int
@@ -169,13 +170,16 @@ class Federation:
         overflowing forward runs under ``np.errstate`` so the divergence
         guard's final evaluation cannot leak ``RuntimeWarning``s.
         """
-        if not np.isfinite(params).all():
-            return 0.0, float("nan")
-        with np.errstate(over="ignore", invalid="ignore"):
-            self.model.set_flat_params(params)
-            accuracy = self.model.accuracy(self.test_set.x, self.test_set.y)
-            loss = self.model.loss(self.test_set.x, self.test_set.y)
-        return accuracy, loss
+        with get_tracer().span("eval"):
+            if not np.isfinite(params).all():
+                return 0.0, float("nan")
+            with np.errstate(over="ignore", invalid="ignore"):
+                self.model.set_flat_params(params)
+                accuracy = self.model.accuracy(
+                    self.test_set.x, self.test_set.y
+                )
+                loss = self.model.loss(self.test_set.x, self.test_set.y)
+            return accuracy, loss
 
     def new_history(self, algorithm: str, config: dict) -> TrainingHistory:
         """Fresh history tagged with the run configuration."""

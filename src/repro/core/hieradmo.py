@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.adaptive import AdaptiveGammaController
 from repro.core.base import FLAlgorithm
 from repro.core.federation import Federation
+from repro.telemetry import get_tracer
 from repro.utils.validation import check_fraction, check_positive_int
 
 __all__ = ["HierAdMo", "HierAdMoR"]
@@ -30,6 +31,8 @@ class HierAdMo(FLAlgorithm):
     """Adaptive two-level momentum hierarchical FL (Algorithm 1)."""
 
     name = "HierAdMo"
+    # Every exchange ships the model and its momentum state (x and y).
+    payload_multiplier = 2.0
 
     def __init__(
         self,
@@ -108,28 +111,35 @@ class HierAdMo(FLAlgorithm):
     # ------------------------------------------------------------------
     def _worker_iteration(self) -> float:
         """Lines 4–6 for every worker; returns the mean batch loss."""
-        fed = self.fed
-        grads = self._grads
-        total_loss = 0.0
-        for worker in range(fed.num_workers):
-            _, loss = fed.gradient(worker, self.x[worker], out=grads[worker])
-            total_loss += loss
-        y_new = self.x - self.eta * grads  # line 5, all workers at once
-        velocity = y_new - self.y
-        self.controller.accumulate_all(grads, self.y, velocity)
-        if self.track_mu:
-            self.velocity_norms.extend(
-                np.linalg.norm(self.gamma * velocity, axis=1).tolist()
-            )
-            self.gradient_step_norms.extend(
-                np.linalg.norm(self.eta * grads, axis=1).tolist()
-            )
-        self.x = y_new + self.gamma * velocity  # line 6
-        self.y = y_new
-        return total_loss / fed.num_workers
+        with get_tracer().span("worker_step"):
+            fed = self.fed
+            grads = self._grads
+            total_loss = 0.0
+            for worker in range(fed.num_workers):
+                _, loss = fed.gradient(
+                    worker, self.x[worker], out=grads[worker]
+                )
+                total_loss += loss
+            y_new = self.x - self.eta * grads  # line 5, all workers at once
+            velocity = y_new - self.y
+            self.controller.accumulate_all(grads, self.y, velocity)
+            if self.track_mu:
+                self.velocity_norms.extend(
+                    np.linalg.norm(self.gamma * velocity, axis=1).tolist()
+                )
+                self.gradient_step_norms.extend(
+                    np.linalg.norm(self.eta * grads, axis=1).tolist()
+                )
+            self.x = y_new + self.gamma * velocity  # line 6
+            self.y = y_new
+            return total_loss / fed.num_workers
 
     def _edge_update(self) -> dict[int, float]:
         """Lines 8–15 for every edge; returns the γℓ used per edge."""
+        with get_tracer().span("edge_agg"):
+            return self._edge_update_body()
+
+    def _edge_update_body(self) -> dict[int, float]:
         fed = self.fed
         gammas: dict[int, float] = {}
         for edge in range(fed.num_edges):
@@ -175,19 +185,25 @@ class HierAdMo(FLAlgorithm):
             # Lines 14–15: redistribution (row broadcast into the block).
             self.y[rows] = y_minus
             self.x[rows] = x_plus
-        self.history.worker_edge_rounds += 1
+        # Each worker uploads its state and receives the edge's back.
+        self.history.comm.record_worker_edge(2 * fed.num_workers)
         return gammas
 
     def _cloud_update(self) -> None:
         """Lines 17–23."""
-        fed = self.fed
-        y_bar = fed.cloud_average_edges(self.edge_y_minus)  # line 18
-        x_bar = fed.cloud_average_edges(self.edge_x_plus)  # line 19
-        self.edge_y_minus[:] = y_bar  # line 20
-        self.edge_x_plus[:] = x_bar  # line 21
-        self.y[:] = y_bar  # line 22
-        self.x[:] = x_bar  # line 23
-        self.history.edge_cloud_rounds += 1
+        with get_tracer().span("cloud_agg"):
+            fed = self.fed
+            y_bar = fed.cloud_average_edges(self.edge_y_minus)  # line 18
+            x_bar = fed.cloud_average_edges(self.edge_x_plus)  # line 19
+            self.edge_y_minus[:] = y_bar  # line 20
+            self.edge_x_plus[:] = x_bar  # line 21
+            self.y[:] = y_bar  # line 22
+            self.x[:] = x_bar  # line 23
+            # Each edge uploads and downloads over the WAN; lines 22–23
+            # then push the merged state down to every worker over the
+            # LAN (extra worker↔edge traffic, but not an edge round).
+            self.history.comm.record_edge_cloud(2 * fed.num_edges)
+            self.history.comm.record_worker_edge(fed.num_workers, rounds=0)
 
     # ------------------------------------------------------------------
     def _step(self, t: int) -> float:

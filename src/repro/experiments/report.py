@@ -22,6 +22,7 @@ from repro.experiments.noniid import NONIID_ALGORITHMS, run_noniid_sweep
 from repro.experiments.runner import format_results_table
 from repro.experiments.table2 import TABLE2_ALGORITHMS, run_table2_column
 from repro.experiments.timing import run_time_to_accuracy
+from repro.telemetry import format_bytes
 from repro.theory import (
     adaptive_gamma_moments,
     fixed_gamma_moments,
@@ -147,14 +148,20 @@ def _section_timing(scale: ReportScale, lines: list[str]) -> None:
     )
     reference = results["HierAdMo"].seconds
     for name, result in results.items():
+        traffic = format_bytes(
+            result.worker_edge_bytes + result.edge_cloud_bytes
+        )
         if result.seconds is None:
-            lines.append(f"* {name}: never reached the target")
+            lines.append(
+                f"* {name}: never reached the target ({traffic} moved)"
+            )
         elif name == "HierAdMo" or not reference:
-            lines.append(f"* {name}: {result.seconds:.1f}s")
+            lines.append(f"* {name}: {result.seconds:.1f}s ({traffic} moved)")
         else:
             lines.append(
                 f"* {name}: {result.seconds:.1f}s "
-                f"({result.seconds / reference:.2f}x HierAdMo)"
+                f"({result.seconds / reference:.2f}x HierAdMo, "
+                f"{traffic} moved)"
             )
     lines.append("")
 

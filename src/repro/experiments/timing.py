@@ -6,14 +6,17 @@ reaches the target accuracy (0.95 in the paper).  Three-tier algorithms
 replay on the three-tier timeline (LAN to the edge, WAN only every
 τ·π); two-tier baselines pay the WAN on every aggregation.
 
-Momentum-shipping algorithms (HierAdMo/HierAdMo-R/FedNAG/FastSlowMo)
-transfer model + momentum, i.e. a 2× payload.
+Momentum-shipping algorithms (HierAdMo/HierAdMo-R/FedNAG/FastSlowMo/
+FedADC/Mime) transfer model + momentum, i.e. a 2× payload; the factor
+comes from each class's ``payload_multiplier`` attribute (see
+:mod:`repro.telemetry.ledger`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.algorithms import ALGORITHM_REGISTRY
 from repro.experiments.builders import build_federation, is_three_tier
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_many
@@ -29,29 +32,30 @@ from repro.utils.rng import RngStreams
 __all__ = ["TimedResult", "run_time_to_accuracy", "PAYLOAD_MULTIPLIERS"]
 
 # Model+momentum shippers pay 2x traffic; plain model shippers pay 1x.
+# Sourced from each algorithm class's ``payload_multiplier`` attribute —
+# the same value the telemetry communication ledger uses — so the timing
+# model can never drift from the measured byte accounting.
 PAYLOAD_MULTIPLIERS: dict[str, float] = {
-    "HierAdMo": 2.0,
-    "HierAdMo-R": 2.0,
-    "FedNAG": 2.0,
-    "FastSlowMo": 2.0,
-    "FedADC": 2.0,  # broadcasts server momentum alongside the model
-    "Mime": 2.0,  # broadcasts the server statistic alongside the model
-    "HierFAVG": 1.0,
-    "CFL": 1.0,
-    "FedMom": 1.0,
-    "SlowMo": 1.0,
-    "FedAvg": 1.0,
+    name: cls.payload_multiplier
+    for name, cls in ALGORITHM_REGISTRY.items()
 }
 
 
 @dataclass(frozen=True)
 class TimedResult:
-    """One algorithm's timing outcome."""
+    """One algorithm's timing outcome.
+
+    The byte fields are the *measured* traffic from the run's
+    communication ledger (closed-form events × dim × 8 × multiplier),
+    not the timeline model's estimate.
+    """
 
     algorithm: str
     seconds: float | None  # None = never reached the target
     iteration: int | None
     final_accuracy: float
+    worker_edge_bytes: float = 0.0
+    edge_cloud_bytes: float = 0.0
 
 
 def run_time_to_accuracy(
@@ -126,6 +130,8 @@ def run_time_to_accuracy(
             seconds=seconds,
             iteration=history.iterations_to_accuracy(target),
             final_accuracy=history.final_accuracy,
+            worker_edge_bytes=history.comm.worker_edge_bytes,
+            edge_cloud_bytes=history.comm.edge_cloud_bytes,
         )
     return out
 

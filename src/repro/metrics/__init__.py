@@ -12,7 +12,9 @@ from repro.metrics.serialization import (
     history_from_dict,
     history_to_dict,
     load_history,
+    load_trace_jsonl,
     save_history,
+    save_trace_jsonl,
 )
 
 __all__ = [
@@ -28,4 +30,6 @@ __all__ = [
     "history_from_dict",
     "save_history",
     "load_history",
+    "save_trace_jsonl",
+    "load_trace_jsonl",
 ]

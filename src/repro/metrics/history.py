@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.telemetry.ledger import CommLedger
+
 __all__ = ["TrainingHistory"]
 
 
@@ -30,13 +32,42 @@ class TrainingHistory:
     # γℓ trace: one dict per edge aggregation {edge -> γℓ used}.
     gamma_trace: list[dict[int, float]] = field(default_factory=list)
 
-    # Communication counters (events, not bytes; bytes = events × model size).
-    worker_edge_rounds: int = 0
-    edge_cloud_rounds: int = 0
+    # Communication ledger: rounds, transfers and (closed-form) bytes per
+    # tier.  Algorithms record through ``comm`` directly.
+    comm: CommLedger = field(default_factory=CommLedger)
+
+    # Aggregated tracer view (``Tracer.summary()``) when the run executed
+    # under an enabled tracer; None otherwise.
+    trace_summary: dict | None = None
 
     # Set when the run was stopped early on a non-finite training loss.
     diverged: bool = False
     diverged_at: int | None = None
+
+    # ------------------------------------------------------------------
+    # Legacy communication counters
+    # ------------------------------------------------------------------
+    # Deprecated: ``worker_edge_rounds`` / ``edge_cloud_rounds`` predate
+    # the ledger.  They remain as delegating properties so existing
+    # callers keep working, but the ledger is the single source of truth
+    # — the two cannot drift because there is no second store.
+    @property
+    def worker_edge_rounds(self) -> int:
+        """Edge aggregation rounds (deprecated alias of ``comm``)."""
+        return self.comm.worker_edge_rounds
+
+    @worker_edge_rounds.setter
+    def worker_edge_rounds(self, value: int) -> None:
+        self.comm.worker_edge_rounds = int(value)
+
+    @property
+    def edge_cloud_rounds(self) -> int:
+        """Cloud aggregation rounds (deprecated alias of ``comm``)."""
+        return self.comm.edge_cloud_rounds
+
+    @edge_cloud_rounds.setter
+    def edge_cloud_rounds(self, value: int) -> None:
+        self.comm.edge_cloud_rounds = int(value)
 
     def record_eval(
         self,
@@ -96,4 +127,7 @@ class TrainingHistory:
             "iterations": self.iterations[-1] if self.iterations else 0,
             "worker_edge_rounds": self.worker_edge_rounds,
             "edge_cloud_rounds": self.edge_cloud_rounds,
+            "worker_edge_bytes": self.comm.worker_edge_bytes,
+            "edge_cloud_bytes": self.comm.edge_cloud_bytes,
+            "total_bytes": self.comm.total_bytes,
         }

@@ -1,7 +1,9 @@
-"""Save/load training histories as JSON.
+"""Save/load training histories as JSON, and span traces as JSONL.
 
 Experiment campaigns (the benches, long sweeps) archive their histories
 to disk so tables can be re-rendered without re-running training.
+Traced runs additionally dump their tracer as JSONL — one span record,
+counter or histogram per line — for offline analysis.
 """
 
 from __future__ import annotations
@@ -10,9 +12,12 @@ import json
 from pathlib import Path
 
 from repro.metrics.history import TrainingHistory
+from repro.telemetry.ledger import CommLedger
+from repro.telemetry.tracer import SpanRecord, Tracer
 
 __all__ = ["history_to_dict", "history_from_dict", "save_history",
-           "load_history", "save_history_csv"]
+           "load_history", "save_history_csv", "save_trace_jsonl",
+           "load_trace_jsonl"]
 
 
 def history_to_dict(history: TrainingHistory) -> dict:
@@ -28,8 +33,12 @@ def history_to_dict(history: TrainingHistory) -> dict:
             {str(k): v for k, v in record.items()}
             for record in history.gamma_trace
         ],
+        # Legacy counters kept top-level for older readers; "comm" is the
+        # full ledger (events + payload geometry).
         "worker_edge_rounds": history.worker_edge_rounds,
         "edge_cloud_rounds": history.edge_cloud_rounds,
+        "comm": history.comm.to_dict(),
+        "trace_summary": history.trace_summary,
     }
 
 
@@ -47,8 +56,13 @@ def history_from_dict(payload: dict) -> TrainingHistory:
         {int(k): float(v) for k, v in record.items()}
         for record in payload.get("gamma_trace", [])
     ]
-    history.worker_edge_rounds = int(payload.get("worker_edge_rounds", 0))
-    history.edge_cloud_rounds = int(payload.get("edge_cloud_rounds", 0))
+    if "comm" in payload:
+        history.comm = CommLedger.from_dict(payload["comm"])
+    else:
+        # Pre-ledger payloads carried only the round counters.
+        history.worker_edge_rounds = int(payload.get("worker_edge_rounds", 0))
+        history.edge_cloud_rounds = int(payload.get("edge_cloud_rounds", 0))
+    history.trace_summary = payload.get("trace_summary")
     return history
 
 
@@ -63,6 +77,64 @@ def load_history(path: str | Path) -> TrainingHistory:
     """Read a history previously written by :func:`save_history`."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     return history_from_dict(payload)
+
+
+def save_trace_jsonl(tracer: Tracer, path: str | Path) -> None:
+    """Dump a tracer as JSONL: one meta/span/counter/histogram per line.
+
+    The first line is a ``meta`` record (record/drop counts); each
+    subsequent line is self-describing via its ``type`` field, so the
+    file streams into any JSONL tool without a schema.
+    """
+    lines = [json.dumps({
+        "type": "meta",
+        "records": len(tracer.records),
+        "dropped": tracer.dropped,
+    })]
+    for record in tracer.records:
+        lines.append(json.dumps({"type": "span", **record.to_dict()}))
+    for name, value in sorted(tracer.counters.items()):
+        lines.append(json.dumps({
+            "type": "counter", "name": name, "value": value,
+        }))
+    for name, histogram in sorted(tracer.histograms.items()):
+        lines.append(json.dumps({
+            "type": "histogram", "name": name, **histogram.to_dict(),
+        }))
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_trace_jsonl(path: str | Path) -> dict:
+    """Read a trace dump written by :func:`save_trace_jsonl`.
+
+    Returns ``{"meta": dict, "spans": [SpanRecord], "counters": {name:
+    value}, "histograms": {name: summary dict}}``.
+    """
+    meta: dict = {}
+    spans: list[SpanRecord] = []
+    counters: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        kind = payload.pop("type")
+        if kind == "meta":
+            meta = payload
+        elif kind == "span":
+            spans.append(SpanRecord.from_dict(payload))
+        elif kind == "counter":
+            counters[payload["name"]] = payload["value"]
+        elif kind == "histogram":
+            histograms[payload.pop("name")] = payload
+        else:
+            raise ValueError(f"unknown trace record type {kind!r}")
+    return {
+        "meta": meta,
+        "spans": spans,
+        "counters": counters,
+        "histograms": histograms,
+    }
 
 
 def save_history_csv(history: TrainingHistory, path: str | Path) -> None:

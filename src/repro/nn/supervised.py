@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.nn.losses import Loss, SoftmaxCrossEntropyLoss
 from repro.nn.module import Module
+from repro.telemetry import get_tracer
 
 __all__ = ["SupervisedModel"]
 
@@ -86,17 +87,32 @@ class SupervisedModel:
         if params is not None:
             self.set_flat_params(params)
         buffer = self.module.flat_buffer()
+        # This is the innermost hot path (called once per worker per
+        # iteration), so the oracle spans only exist when a recording
+        # tracer is installed: the disabled branch below is the exact
+        # pre-telemetry code with a single extra attribute check.
+        tracer = get_tracer()
         with np.errstate(over="ignore", invalid="ignore"):
             if not np.isfinite(buffer.data).all():
                 return self._nan_gradient(out), float("nan")
             self.module.train()
             self.module.zero_grad()
-            predictions = self.module.forward(x)
-            loss_value = self.loss_fn.forward(predictions, y)
-            if not np.isfinite(loss_value):
-                return self._nan_gradient(out), float(loss_value)
-            self.module.backward(self.loss_fn.backward())
-            flat_grad = self.module.get_flat_grads()
+            if tracer.enabled:
+                with tracer.span("oracle.forward"):
+                    predictions = self.module.forward(x)
+                    loss_value = self.loss_fn.forward(predictions, y)
+                if not np.isfinite(loss_value):
+                    return self._nan_gradient(out), float(loss_value)
+                with tracer.span("oracle.backward"):
+                    self.module.backward(self.loss_fn.backward())
+                    flat_grad = self.module.get_flat_grads()
+            else:
+                predictions = self.module.forward(x)
+                loss_value = self.loss_fn.forward(predictions, y)
+                if not np.isfinite(loss_value):
+                    return self._nan_gradient(out), float(loss_value)
+                self.module.backward(self.loss_fn.backward())
+                flat_grad = self.module.get_flat_grads()
             if self.weight_decay > 0.0:
                 flat_grad += self.weight_decay * buffer.data
         if out is None:

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.metrics.history import TrainingHistory
 from repro.simulation.devices import DEVICE_PRESETS, DeviceProfile
+from repro.telemetry import get_tracer
 from repro.simulation.links import LINK_PRESETS, LinkProfile
 from repro.topology import Topology
 from repro.utils.rng import make_rng
@@ -98,14 +99,29 @@ class ThreeTierTimeline:
         times = np.empty(total_iterations + 1)
         times[0] = 0.0
         clock = 0.0
+        edge_rounds = cloud_rounds = 0
         for t in range(1, total_iterations + 1):
             # Parallel workers: the slowest defines the iteration.
             clock += float(compute[:, t - 1].max())
             if t % tau == 0:
                 clock += self._edge_round(payload, rng)
+                edge_rounds += 1
             if t % (tau * pi) == 0:
                 clock += self._cloud_round(payload, rng)
+                cloud_rounds += 1
             times[t] = clock
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("sim.three_tier.edge_rounds", edge_rounds)
+            tracer.count("sim.three_tier.cloud_rounds", cloud_rounds)
+            tracer.count(
+                "sim.three_tier.bytes",
+                payload
+                * (
+                    2 * edge_rounds * self.topology.num_workers
+                    + 2 * cloud_rounds * self.topology.num_edges
+                ),
+            )
         return times
 
     def _edge_round(self, payload: float, rng: np.random.Generator) -> float:
@@ -187,6 +203,7 @@ class TwoTierTimeline:
         times = np.empty(total_iterations + 1)
         times[0] = 0.0
         clock = 0.0
+        rounds = 0
         for t in range(1, total_iterations + 1):
             clock += float(compute[:, t - 1].max())
             if t % tau == 0:
@@ -203,7 +220,15 @@ class TwoTierTimeline:
                     + self.cloud_device.sample_aggregation(rng)
                     + download
                 )
+                rounds += 1
             times[t] = clock
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("sim.two_tier.rounds", rounds)
+            tracer.count(
+                "sim.two_tier.bytes",
+                payload * 2 * rounds * self.num_workers,
+            )
         return times
 
 

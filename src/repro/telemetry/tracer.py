@@ -1,0 +1,364 @@
+"""Process-local span tracer: timings, counters and histograms.
+
+One :class:`Tracer` instance records everything a federated run emits:
+
+* **spans** — nestable timed regions (``with tracer.span("edge_agg"):``)
+  measured on the monotonic clock (:func:`time.perf_counter`), recorded
+  with their parent span and nesting depth, and aggregated per name into
+  count/total/min/max statistics;
+* **counters** — monotonically accumulated numbers
+  (``tracer.count("comm.worker_edge.transfers", 8)``);
+* **histograms** — value distributions
+  (``tracer.observe("adaptive.gamma", 0.42)``) with count/total/min/max
+  and on-demand percentiles.
+
+Tracing is *off by default*.  The module-level active tracer starts as
+:data:`NULL_TRACER`, whose ``span()`` returns one shared no-op context
+manager and whose ``count``/``observe`` do nothing — no dict churn, no
+allocation, no clock reads — so instrumented hot paths cost one
+attribute lookup when tracing is disabled.  Code that instruments a
+*per-oracle-call* region additionally guards on ``tracer.enabled`` so
+the disabled path executes zero extra context managers (see
+``repro.nn.supervised``); per-iteration regions just use
+``with get_tracer().span(...)`` directly.
+
+Spans are exception-safe: a span body that raises still records its
+duration and unwinds the nesting stack (the ``with`` protocol guarantees
+``__exit__`` runs).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "SpanRecord",
+    "SpanStats",
+    "Histogram",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+    "tracing",
+]
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished span: where time went, and under which parent."""
+
+    name: str
+    start: float  # seconds since the tracer's epoch (monotonic clock)
+    duration: float  # seconds
+    parent: str | None
+    depth: int
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "parent": self.parent,
+            "depth": self.depth,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        return cls(
+            name=str(payload["name"]),
+            start=float(payload["start"]),
+            duration=float(payload["duration"]),
+            parent=payload.get("parent"),
+            depth=int(payload.get("depth", 0)),
+        )
+
+
+@dataclass(slots=True)
+class SpanStats:
+    """Aggregated per-name span statistics."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        if duration < self.min:
+            self.min = duration
+        if duration > self.max:
+            self.max = duration
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class Histogram:
+    """Value distribution: streaming moments plus the raw values.
+
+    Raw values are kept (traced runs are short — thousands of
+    observations, not millions) so percentiles are exact.
+    """
+
+    __slots__ = ("values", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.values.append(value)
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (nearest-rank), q in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if not self.values:
+            raise ValueError("empty histogram has no percentiles")
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.values else 0.0,
+            "max": self.max if self.values else 0.0,
+            "mean": self.mean,
+        }
+
+
+class _Span:
+    """Active span context manager (records itself on exit)."""
+
+    __slots__ = ("_tracer", "name", "_start", "_parent", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        stack = tracer._stack
+        self._parent = stack[-1] if stack else None
+        self._depth = len(stack)
+        stack.append(self.name)
+        self._start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        duration = tracer._clock() - self._start
+        tracer._stack.pop()
+        tracer._finish(
+            SpanRecord(
+                name=self.name,
+                start=self._start - tracer._epoch,
+                duration=duration,
+                parent=self._parent,
+                depth=self._depth,
+            )
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span: the entire disabled-tracing span protocol."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    A single module-level instance (:data:`NULL_TRACER`) is installed by
+    default; hot paths check ``tracer.enabled`` (a plain class attribute)
+    when even a no-op context manager per call would be too much.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Recording tracer: spans, counters and histograms.
+
+    ``max_records`` bounds the per-span-record memory: once reached,
+    further spans still update the per-name aggregate statistics but the
+    individual records are dropped (``dropped`` counts them), so a long
+    run cannot exhaust memory while its phase breakdown stays exact.
+    """
+
+    enabled = True
+
+    def __init__(self, *, clock=time.perf_counter, max_records: int = 250_000):
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        self._clock = clock
+        self._epoch = clock()
+        self.max_records = int(max_records)
+        self.records: list[SpanRecord] = []
+        self.dropped = 0
+        self.span_stats: dict[str, SpanStats] = {}
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self._stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Recording API
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> _Span:
+        """Timed region as a context manager; nests under the active span."""
+        return _Span(self, name)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Accumulate ``value`` onto the named counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def _finish(self, record: SpanRecord) -> None:
+        stats = self.span_stats.get(record.name)
+        if stats is None:
+            stats = self.span_stats[record.name] = SpanStats()
+        stats.add(record.duration)
+        if len(self.records) < self.max_records:
+            self.records.append(record)
+        else:
+            self.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def active_span(self) -> str | None:
+        """Name of the innermost span currently open (None outside spans)."""
+        return self._stack[-1] if self._stack else None
+
+    def top_spans(self, k: int = 5) -> list[SpanRecord]:
+        """The ``k`` slowest recorded spans, slowest first."""
+        return sorted(self.records, key=lambda r: r.duration, reverse=True)[:k]
+
+    def summary(self) -> dict:
+        """JSON-able aggregate view: span stats, counters, histograms."""
+        return {
+            "spans": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.span_stats.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self.histograms.items())
+            },
+            "records": len(self.records),
+            "dropped": self.dropped,
+        }
+
+
+# ----------------------------------------------------------------------
+# Module-level active tracer
+# ----------------------------------------------------------------------
+_active: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-wide active tracer (the null tracer when disabled)."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` as the active tracer (None → the null tracer)."""
+    global _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return _active
+
+
+def enable(**kwargs) -> Tracer:
+    """Install (and return) a fresh recording :class:`Tracer`."""
+    tracer = Tracer(**kwargs)
+    set_tracer(tracer)
+    return tracer
+
+
+def disable() -> None:
+    """Restore the no-op null tracer."""
+    set_tracer(NULL_TRACER)
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None):
+    """Scoped tracing: install a tracer, restore the previous one on exit.
+
+    ::
+
+        with telemetry.tracing() as tracer:
+            history = run_single("HierAdMo", config)
+        print(tracer.summary())
+    """
+    installed = tracer if tracer is not None else Tracer()
+    previous = _active
+    set_tracer(installed)
+    try:
+        yield installed
+    finally:
+        set_tracer(previous)

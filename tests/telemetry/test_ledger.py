@@ -1,0 +1,125 @@
+"""Communication ledger: closed-form bytes, compat delegation, payload
+registry agreement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.algorithms import ALGORITHM_REGISTRY, FedProx, SampledFedAvg
+from repro.algorithms.compressed import QuantizedHierFAVG
+from repro.core.base import FLAlgorithm
+from repro.experiments.timing import PAYLOAD_MULTIPLIERS
+from repro.metrics.history import TrainingHistory
+from repro.telemetry import BYTES_PER_PARAM, CommLedger
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestClosedFormBytes:
+    def test_bytes_follow_events_exactly(self):
+        ledger = CommLedger()
+        ledger.configure(dim=100, payload_multiplier=2.0)
+        ledger.record_worker_edge(8)
+        ledger.record_worker_edge(4, rounds=0)
+        ledger.record_edge_cloud(6)
+        assert ledger.vector_bytes == 100 * BYTES_PER_PARAM * 2.0
+        assert ledger.worker_edge_events == 12
+        assert ledger.worker_edge_rounds == 1
+        assert ledger.edge_cloud_events == 6
+        assert ledger.edge_cloud_rounds == 1
+        assert ledger.worker_edge_bytes == 12 * 100 * 8 * 2.0
+        assert ledger.edge_cloud_bytes == 6 * 100 * 8 * 2.0
+        assert ledger.total_bytes == (
+            ledger.worker_edge_bytes + ledger.edge_cloud_bytes
+        )
+
+    def test_configure_validates(self):
+        ledger = CommLedger()
+        with pytest.raises(ValueError):
+            ledger.configure(dim=0, payload_multiplier=1.0)
+        with pytest.raises(ValueError):
+            ledger.configure(dim=10, payload_multiplier=0.0)
+
+    def test_recording_feeds_tracer_counters(self):
+        ledger = CommLedger()
+        ledger.configure(dim=10, payload_multiplier=1.0)
+        with telemetry.tracing() as tracer:
+            ledger.record_worker_edge(4)
+            ledger.record_edge_cloud(2)
+        assert tracer.counters["comm.worker_edge.transfers"] == 4
+        assert tracer.counters["comm.worker_edge.bytes"] == 4 * 10 * 8
+        assert tracer.counters["comm.edge_cloud.transfers"] == 2
+        assert tracer.counters["comm.edge_cloud.bytes"] == 2 * 10 * 8
+
+    def test_dict_roundtrip_recomputes_bytes(self):
+        ledger = CommLedger()
+        ledger.configure(dim=50, payload_multiplier=2.0)
+        ledger.record_worker_edge(10)
+        payload = ledger.to_dict()
+        # A reader tampering with the stored bytes cannot poison the
+        # restored ledger: bytes are recomputed from the events.
+        payload["worker_edge_bytes"] = -1
+        restored = CommLedger.from_dict(payload)
+        assert restored.worker_edge_bytes == ledger.worker_edge_bytes
+        assert restored.to_dict() == ledger.to_dict()
+
+
+class TestHistoryCompatDelegation:
+    def test_round_counters_delegate_to_ledger(self):
+        history = TrainingHistory(algorithm="x", config={})
+        history.comm.record_worker_edge(4)
+        history.comm.record_edge_cloud(2)
+        assert history.worker_edge_rounds == 1
+        assert history.edge_cloud_rounds == 1
+
+    def test_legacy_setters_write_through(self):
+        history = TrainingHistory(algorithm="x", config={})
+        history.worker_edge_rounds = 3
+        history.edge_cloud_rounds = 5
+        assert history.comm.worker_edge_rounds == 3
+        assert history.comm.edge_cloud_rounds == 5
+
+    def test_legacy_increment_cannot_drift(self):
+        history = TrainingHistory(algorithm="x", config={})
+        history.worker_edge_rounds += 1
+        history.comm.record_worker_edge(4)
+        # Both mutation styles land on the same counter.
+        assert history.worker_edge_rounds == 2
+
+    def test_summary_exposes_bytes(self):
+        history = TrainingHistory(algorithm="x", config={})
+        history.comm.configure(dim=10, payload_multiplier=1.0)
+        history.comm.record_worker_edge(4)
+        history.record_eval(0, 0.5, 1.0, float("nan"))
+        summary = history.summary()
+        assert summary["worker_edge_bytes"] == 4 * 10 * 8
+        assert summary["edge_cloud_bytes"] == 0
+        assert summary["total_bytes"] == 4 * 10 * 8
+
+
+class TestPayloadRegistry:
+    def test_timing_table_sources_registry(self):
+        for name, cls in ALGORITHM_REGISTRY.items():
+            assert PAYLOAD_MULTIPLIERS[name] == cls.payload_multiplier, name
+
+    def test_every_algorithm_declares_a_multiplier(self):
+        classes = dict(ALGORITHM_REGISTRY)
+        classes["QuantizedHierFAVG"] = QuantizedHierFAVG
+        classes["SampledFedAvg"] = SampledFedAvg
+        classes["FedProx"] = FedProx
+        for name, cls in classes.items():
+            assert issubclass(cls, FLAlgorithm)
+            multiplier = cls.payload_multiplier
+            assert multiplier in (1.0, 2.0), (name, multiplier)
+
+    def test_momentum_shippers_pay_double(self):
+        doubles = {
+            name
+            for name, cls in ALGORITHM_REGISTRY.items()
+            if cls.payload_multiplier == 2.0
+        }
+        assert doubles == {
+            "HierAdMo", "HierAdMo-R", "FedNAG", "FastSlowMo",
+            "FedADC", "Mime",
+        }

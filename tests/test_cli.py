@@ -58,3 +58,28 @@ class TestCommands:
         assert main(["timing", "--target", "0.05"] + FAST) == 0
         out = capsys.readouterr().out
         assert "HierAdMo" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--algorithm", "HierAdMo"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall clock" in out
+        assert "communication ledger" in out
+        assert "worker_step" in out
+        assert "slowest spans" in out
+
+    def test_trace_save_jsonl(self, tmp_path, capsys):
+        from repro.metrics import load_trace_jsonl
+        from repro.telemetry import get_tracer
+
+        target = tmp_path / "trace.jsonl"
+        code = main(
+            ["trace", "--algorithm", "FedAvg", "--save-trace", str(target)]
+            + FAST
+        )
+        assert code == 0
+        loaded = load_trace_jsonl(target)
+        names = {span.name for span in loaded["spans"]}
+        assert "worker_step" in names
+        assert "cloud_agg" in names
+        # The CLI restores the null tracer after the traced run.
+        assert not get_tracer().enabled
