@@ -24,6 +24,7 @@ from repro.core import Federation, HierAdMo, HierAdMoR
 from repro.data import Dataset, make_dataset, partition, train_test_split
 from repro import telemetry
 from repro.experiments import ExperimentConfig, run_many, run_single
+from repro.faults import DEGRADATION_POLICIES, FaultPlan
 from repro.metrics import TrainingHistory
 from repro.topology import Topology
 
@@ -46,5 +47,7 @@ __all__ = [
     "ALGORITHM_REGISTRY",
     "THREE_TIER_ALGORITHMS",
     "TWO_TIER_ALGORITHMS",
+    "FaultPlan",
+    "DEGRADATION_POLICIES",
     "telemetry",
 ]

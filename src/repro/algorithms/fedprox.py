@@ -47,20 +47,31 @@ class FedProx(TwoTierAlgorithm):
     def _step(self, t: int) -> float:
         with get_tracer().span("worker_step"):
             grads = self._grads
-            total = 0.0
-            for worker in range(self.fed.num_workers):
-                _, loss = self.fed.gradient(
-                    worker, self.x[worker], out=grads[worker]
-                )
-                total += loss
-            proximal = self.mu * (self.x - self.global_params)
-            self.x -= self.eta * (grads + proximal)
+            rows = self._iteration_rows()
+            if rows is not None:
+                loss = self._gradient_rows(rows)
+                proximal = self.mu * (self.x[rows] - self.global_params)
+                self.x[rows] -= self.eta * (grads[rows] + proximal)
+            else:
+                total = 0.0
+                for worker in range(self.fed.num_workers):
+                    _, batch_loss = self.fed.gradient(
+                        worker, self.x[worker], out=grads[worker]
+                    )
+                    total += batch_loss
+                proximal = self.mu * (self.x - self.global_params)
+                self.x -= self.eta * (grads + proximal)
+                loss = total / self.fed.num_workers
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
-                self.global_params = self._average_models()
-                self._broadcast(self.global_params)
-                self._record_round()
-        return total / self.fed.num_workers
+                outcome = self._round_outcome()
+                if not outcome.skip:
+                    self.global_params = self._round_average(self.x, outcome)
+                    self.x[self._round_receivers(outcome)] = (
+                        self.global_params
+                    )
+                    self._record_round(outcome=outcome)
+        return loss
 
     def _global_params(self) -> np.ndarray:
         return self._average_models()

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.base import FLAlgorithm
 from repro.core.federation import Federation
+from repro.faults import degrade_round
 from repro.telemetry import get_tracer
 from repro.utils.validation import check_positive_int
 
@@ -54,6 +55,16 @@ class HierFAVG(FLAlgorithm):
     def _local_iteration(self) -> float:
         with get_tracer().span("worker_step"):
             grads = self._grads
+            rows = self._iteration_rows()
+            if rows is not None:
+                total = 0.0
+                for worker in rows:
+                    _, loss = self.fed.gradient(
+                        worker, self.x[worker], out=grads[worker]
+                    )
+                    total += loss
+                self.x[rows] -= self.eta * grads[rows]
+                return total / rows.size
             total = 0.0
             for worker in range(self.fed.num_workers):
                 _, loss = self.fed.gradient(
@@ -63,37 +74,134 @@ class HierFAVG(FLAlgorithm):
             self.x -= self.eta * grads
             return total / self.fed.num_workers
 
-    def _edge_aggregate(self, redistribute: bool = True) -> None:
+    def _edge_aggregate(self, redistribute: bool = True, *, t: int = 0) -> None:
         with get_tracer().span("edge_agg"):
             fed = self.fed
-            self.edge_models[:] = fed.edge_average_all(self.x)
-            transfers = fed.num_workers  # uploads
-            if redistribute:
-                for edge in range(fed.num_edges):
-                    self.x[fed.edge_slices[edge]] = self.edge_models[edge]
-                transfers += fed.num_workers  # downloads
-            self.history.comm.record_worker_edge(transfers)
+            faults = self.faults
+            if faults is None or not faults.active:
+                self.edge_models[:] = fed.edge_average_all(self.x)
+                transfers = fed.num_workers  # uploads
+                if redistribute:
+                    for edge in range(fed.num_edges):
+                        self.x[fed.edge_slices[edge]] = self.edge_models[edge]
+                    transfers += fed.num_workers  # downloads
+                self.history.comm.record_worker_edge(transfers)
+                return
+            edge_up = faults.edge_mask(t // self.tau)
+            up_mask = self._up_mask
+            transfers = 0
+            for edge in range(fed.num_edges):
+                rows = fed.edge_slices[edge]
+                if edge_up is not None and not edge_up[edge]:
+                    faults.note_round("skipped")
+                    continue
+                up = None if up_mask is None else up_mask[rows]
+                outcome = degrade_round(
+                    faults,
+                    self.degradation,
+                    fed.worker_w_in_edge[edge],
+                    up,
+                    downloads=redistribute,
+                )
+                if outcome.skip:
+                    continue
+                if outcome.pristine:
+                    edge_model = fed.edge_average(edge, self.x)
+                    receivers = rows
+                    transfers += (rows.stop - rows.start) * (
+                        2 if redistribute else 1
+                    )
+                else:
+                    edge_model = fed.partial_average(
+                        self.x,
+                        rows.start + outcome.agg_rows,
+                        outcome.agg_weights,
+                    )
+                    receivers = rows.start + outcome.receivers
+                    transfers += outcome.events
+                self.edge_models[edge] = edge_model
+                if redistribute:
+                    self.x[receivers] = edge_model
+            if transfers:
+                self.history.comm.record_worker_edge(transfers)
 
-    def _cloud_aggregate(self, to_workers: bool = True) -> None:
+    def _push_cloud_model(self, edges, global_model: np.ndarray) -> int:
+        """Broadcast the cloud model to the up workers of ``edges``.
+
+        Returns the number of workers reached (LAN download events).
+        """
+        fed = self.fed
+        up_mask = self._up_mask
+        reached = 0
+        for edge in edges:
+            rows = fed.edge_slices[edge]
+            if up_mask is None:
+                self.x[rows] = global_model
+                reached += rows.stop - rows.start
+            else:
+                widx = rows.start + np.flatnonzero(up_mask[rows])
+                self.x[widx] = global_model
+                reached += widx.size
+        return reached
+
+    def _cloud_aggregate(self, to_workers: bool = True, *, t: int = 0) -> None:
         with get_tracer().span("cloud_agg"):
             fed = self.fed
-            global_model = fed.cloud_average_edges(self.edge_models)
-            self.edge_models[:] = global_model
-            self.history.comm.record_edge_cloud(2 * fed.num_edges)
+            faults = self.faults
+            if faults is None or not faults.active:
+                global_model = fed.cloud_average_edges(self.edge_models)
+                self.edge_models[:] = global_model
+                self.history.comm.record_edge_cloud(2 * fed.num_edges)
+                if to_workers:
+                    self.x[:] = global_model
+                    # Post-cloud broadcast down to workers (LAN traffic;
+                    # CFL skips exactly this).
+                    self.history.comm.record_worker_edge(
+                        fed.num_workers, rounds=0
+                    )
+                return
+            edge_up = faults.edge_mask(t // self.tau)
+            outcome = degrade_round(
+                faults, self.degradation, fed.edge_w, edge_up
+            )
+            if outcome.skip:
+                return
+            # Staleness hits the WAN uploads even when the round is
+            # otherwise pristine.
+            models = faults.stale_substitute("cloud.models", self.edge_models)
+            if outcome.pristine:
+                global_model = fed.cloud_average_edges(models)
+                self.edge_models[:] = global_model
+                self.history.comm.record_edge_cloud(2 * fed.num_edges)
+                if to_workers:
+                    # All edges up, but the LAN push still skips workers
+                    # that are down this iteration.
+                    reached = self._push_cloud_model(
+                        range(fed.num_edges), global_model
+                    )
+                    if reached:
+                        self.history.comm.record_worker_edge(
+                            reached, rounds=0
+                        )
+                return
+            global_model = fed.partial_average(
+                models, outcome.agg_rows, outcome.agg_weights
+            )
+            self.edge_models[outcome.receivers] = global_model
+            self.history.comm.record_edge_cloud(outcome.events)
             if to_workers:
-                self.x[:] = global_model
-                # Post-cloud broadcast down to workers (LAN traffic; CFL
-                # skips exactly this).
-                self.history.comm.record_worker_edge(
-                    fed.num_workers, rounds=0
+                reached = self._push_cloud_model(
+                    outcome.receivers, global_model
                 )
+                if reached:
+                    self.history.comm.record_worker_edge(reached, rounds=0)
 
     def _step(self, t: int) -> float:
         loss = self._local_iteration()
         if t % self.tau == 0:
-            self._edge_aggregate()
+            self._edge_aggregate(t=t)
         if t % (self.tau * self.pi) == 0:
-            self._cloud_aggregate()
+            self._cloud_aggregate(t=t)
         return loss
 
     def _global_params(self) -> np.ndarray:
@@ -123,21 +231,63 @@ class CFL(HierFAVG):
         loss = self._local_iteration()
         if t % self.tau == 0:
             with get_tracer().span("edge_agg"):
-                for edge in range(self.fed.num_edges):
-                    fresh = self.fed.edge_average(edge, self.x)
-                    if self._cloud_pending[edge]:
-                        # Fold in the cloud model the workers never
-                        # received.
-                        merged = 0.5 * (fresh + self.edge_models[edge])
-                        self._cloud_pending[edge] = False
-                    else:
-                        merged = fresh
-                    self.edge_models[edge] = merged
-                    self.x[self.fed.edge_slices[edge]] = merged
-                self.history.comm.record_worker_edge(
-                    2 * self.fed.num_workers
-                )
+                self._cfl_edge_round(t)
         if t % (self.tau * self.pi) == 0:
-            self._cloud_aggregate(to_workers=False)
+            self._cloud_aggregate(to_workers=False, t=t)
             self._cloud_pending = [True] * self.fed.num_edges
         return loss
+
+    def _cfl_edge_round(self, t: int) -> None:
+        fed = self.fed
+        faults = self.faults
+        if faults is None or not faults.active:
+            for edge in range(fed.num_edges):
+                fresh = fed.edge_average(edge, self.x)
+                if self._cloud_pending[edge]:
+                    # Fold in the cloud model the workers never
+                    # received.
+                    merged = 0.5 * (fresh + self.edge_models[edge])
+                    self._cloud_pending[edge] = False
+                else:
+                    merged = fresh
+                self.edge_models[edge] = merged
+                self.x[fed.edge_slices[edge]] = merged
+            self.history.comm.record_worker_edge(2 * fed.num_workers)
+            return
+        edge_up = faults.edge_mask(t // self.tau)
+        up_mask = self._up_mask
+        transfers = 0
+        for edge in range(fed.num_edges):
+            rows = fed.edge_slices[edge]
+            if edge_up is not None and not edge_up[edge]:
+                # A dark edge keeps its pending cloud model for the next
+                # round it is back up.
+                faults.note_round("skipped")
+                continue
+            up = None if up_mask is None else up_mask[rows]
+            outcome = degrade_round(
+                faults, self.degradation, fed.worker_w_in_edge[edge], up
+            )
+            if outcome.skip:
+                continue
+            if outcome.pristine:
+                fresh = fed.edge_average(edge, self.x)
+                receivers = rows
+                transfers += 2 * (rows.stop - rows.start)
+            else:
+                fresh = fed.partial_average(
+                    self.x,
+                    rows.start + outcome.agg_rows,
+                    outcome.agg_weights,
+                )
+                receivers = rows.start + outcome.receivers
+                transfers += outcome.events
+            if self._cloud_pending[edge]:
+                merged = 0.5 * (fresh + self.edge_models[edge])
+                self._cloud_pending[edge] = False
+            else:
+                merged = fresh
+            self.edge_models[edge] = merged
+            self.x[receivers] = merged
+        if transfers:
+            self.history.comm.record_worker_edge(transfers)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.algorithms.twotier import TwoTierAlgorithm
 from repro.core.federation import Federation
+from repro.faults import degrade_round
 from repro.telemetry import get_tracer
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_in_range
@@ -63,22 +64,48 @@ class SampledFedAvg(TwoTierAlgorithm):
     def _step(self, t: int) -> float:
         with get_tracer().span("worker_step"):
             grads = self._grads
+            rows = self._train_rows()
             total = 0.0
-            for worker in self.active:
+            for worker in rows:
                 _, loss = self.fed.gradient(
                     worker, self.x[worker], out=grads[worker]
                 )
                 total += loss
-            self.x[self.active] -= self.eta * grads[self.active]
+            self.x[rows] -= self.eta * grads[rows]
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
                 weights = self.fed.global_worker_w[self.active]
                 weights = weights / weights.sum()
-                self.server_params = weights @ self.x[self.active]
-                # Only the sampled workers exchange state this round.
-                self._record_round(len(self.active))
-                self._sample_round()
-        return total / len(self.active)
+                up = self._up_mask
+                outcome = degrade_round(
+                    self.faults,
+                    self.degradation,
+                    weights,
+                    None if up is None else up[self.active],
+                )
+                if outcome.pristine:
+                    self.server_params = weights @ self.x[self.active]
+                    # Only the sampled workers exchange state this round.
+                    self._record_round(len(self.active))
+                    self._sample_round()
+                elif not outcome.skip:
+                    active = np.asarray(self.active)
+                    self.server_params = (
+                        outcome.agg_weights @ self.x[active[outcome.agg_rows]]
+                    )
+                    self._record_round(outcome=outcome)
+                    self._sample_round()
+                # A skipped round keeps this round's participants training
+                # until the next scheduled aggregation.
+        return total / len(rows)
+
+    def _train_rows(self) -> list[int]:
+        """This iteration's training set: sampled ∩ up (never empty)."""
+        up = self._up_mask
+        if up is None:
+            return self.active
+        rows = [worker for worker in self.active if up[worker]]
+        return rows or self.active[:1]
 
     def _global_params(self) -> np.ndarray:
         return self.server_params.copy()

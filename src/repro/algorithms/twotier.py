@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.base import FLAlgorithm
 from repro.core.federation import Federation
+from repro.faults import RoundOutcome, degrade_round
 from repro.telemetry import get_tracer
 from repro.utils.validation import (
     check_fraction,
@@ -72,21 +73,74 @@ class TwoTierAlgorithm(FLAlgorithm):
     def _global_params(self) -> np.ndarray:
         return self._average_models()
 
-    def _record_round(self, participants: int | None = None) -> None:
+    def _record_round(
+        self,
+        participants: int | None = None,
+        *,
+        outcome: RoundOutcome | None = None,
+    ) -> None:
         """Ledger entry for one aggregation round.
 
         Two-tier workers talk to the cloud directly, so a round is one
         upload + one download per participating worker on the
-        edge↔cloud (WAN) tier.
+        edge↔cloud (WAN) tier.  A degraded round bills the transfer
+        events its :class:`RoundOutcome` realized instead (attempted
+        uploads, retransmissions, duplicates, successful downloads).
         """
+        if outcome is not None and not outcome.pristine:
+            self.history.comm.record_edge_cloud(outcome.events)
+            return
         if participants is None:
             participants = self.fed.num_workers
         self.history.comm.record_edge_cloud(2 * participants)
+
+    # ------------------------------------------------------------------
+    # Fault-plan plumbing (all no-ops without an attached plan)
+    # ------------------------------------------------------------------
+    def _gradient_rows(self, rows: np.ndarray) -> float:
+        """Gradient pass over the up workers only; returns their mean loss."""
+        grads = self._grads
+        total = 0.0
+        for worker in rows:
+            _, loss = self.fed.gradient(
+                worker, self.x[worker], out=grads[worker]
+            )
+            total += loss
+        return total / rows.size
+
+    def _round_outcome(self) -> RoundOutcome:
+        """This round's membership over all workers under the fault plan."""
+        return degrade_round(
+            self.faults,
+            self.degradation,
+            self.fed.global_worker_w,
+            self._up_mask,
+        )
+
+    def _round_average(
+        self, matrix: np.ndarray, outcome: RoundOutcome
+    ) -> np.ndarray:
+        """Round aggregate of ``matrix`` under the resolved membership."""
+        if outcome.pristine:
+            return self.fed.global_average_workers(matrix)
+        return self.fed.partial_average(
+            matrix, outcome.agg_rows, outcome.agg_weights
+        )
+
+    @staticmethod
+    def _round_receivers(outcome: RoundOutcome):
+        """Rows the round's redistribution writes to."""
+        return slice(None) if outcome.pristine else outcome.receivers
 
     def _local_sgd_iteration(self) -> float:
         """One plain SGD step on every worker; returns mean batch loss."""
         with get_tracer().span("worker_step"):
             grads = self._grads
+            rows = self._iteration_rows()
+            if rows is not None:
+                mean_loss = self._gradient_rows(rows)
+                self.x[rows] -= self.eta * grads[rows]
+                return mean_loss
             total = 0.0
             for worker in range(self.fed.num_workers):
                 _, loss = self.fed.gradient(
@@ -106,8 +160,12 @@ class FedAvg(TwoTierAlgorithm):
         loss = self._local_sgd_iteration()
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
-                self._broadcast(self._average_models())
-                self._record_round()
+                outcome = self._round_outcome()
+                if not outcome.skip:
+                    self.x[self._round_receivers(outcome)] = (
+                        self._round_average(self.x, outcome)
+                    )
+                    self._record_round(outcome=outcome)
         return loss
 
 
@@ -139,9 +197,17 @@ class FedNAG(TwoTierAlgorithm):
         super()._setup()
         self.y = self.x.copy()
 
-    def _step(self, t: int) -> float:
+    def _nag_iteration(self) -> float:
+        """One local NAG step per up worker; returns their mean loss."""
         with get_tracer().span("worker_step"):
             grads = self._grads
+            rows = self._iteration_rows()
+            if rows is not None:
+                mean_loss = self._gradient_rows(rows)
+                y_new = self.x[rows] - self.eta * grads[rows]
+                self.x[rows] = y_new + self.gamma * (y_new - self.y[rows])
+                self.y[rows] = y_new
+                return mean_loss
             total = 0.0
             for worker in range(self.fed.num_workers):
                 _, loss = self.fed.gradient(
@@ -151,12 +217,19 @@ class FedNAG(TwoTierAlgorithm):
             y_new = self.x - self.eta * grads
             self.x = y_new + self.gamma * (y_new - self.y)
             self.y = y_new
+            return total / self.fed.num_workers
+
+    def _step(self, t: int) -> float:
+        loss = self._nag_iteration()
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
-                self.x[:] = self._average_models()
-                self.y[:] = self.fed.global_average_workers(self.y)
-                self._record_round()
-        return total / self.fed.num_workers
+                outcome = self._round_outcome()
+                if not outcome.skip:
+                    recv = self._round_receivers(outcome)
+                    self.x[recv] = self._round_average(self.x, outcome)
+                    self.y[recv] = self._round_average(self.y, outcome)
+                    self._record_round(outcome=outcome)
+        return loss
 
 
 class FedMom(TwoTierAlgorithm):
@@ -191,13 +264,21 @@ class FedMom(TwoTierAlgorithm):
         loss = self._local_sgd_iteration()
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
-                delta = self.server_params - self._average_models()
-                self.server_momentum = (
-                    self.beta * self.server_momentum + delta
-                )
-                self.server_params = self.server_params - self.server_momentum
-                self._broadcast(self.server_params)
-                self._record_round()
+                outcome = self._round_outcome()
+                if not outcome.skip:
+                    delta = self.server_params - self._round_average(
+                        self.x, outcome
+                    )
+                    self.server_momentum = (
+                        self.beta * self.server_momentum + delta
+                    )
+                    self.server_params = (
+                        self.server_params - self.server_momentum
+                    )
+                    self.x[self._round_receivers(outcome)] = (
+                        self.server_params
+                    )
+                    self._record_round(outcome=outcome)
         return loss
 
     def _global_params(self) -> np.ndarray:
@@ -238,18 +319,23 @@ class SlowMo(TwoTierAlgorithm):
         loss = self._local_sgd_iteration()
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
-                pseudo_grad = (
-                    self.server_params - self._average_models()
-                ) / self.eta
-                self.slow_momentum = (
-                    self.beta * self.slow_momentum + pseudo_grad
-                )
-                self.server_params = (
-                    self.server_params
-                    - self.alpha * self.eta * self.slow_momentum
-                )
-                self._broadcast(self.server_params)
-                self._record_round()
+                outcome = self._round_outcome()
+                if not outcome.skip:
+                    pseudo_grad = (
+                        self.server_params
+                        - self._round_average(self.x, outcome)
+                    ) / self.eta
+                    self.slow_momentum = (
+                        self.beta * self.slow_momentum + pseudo_grad
+                    )
+                    self.server_params = (
+                        self.server_params
+                        - self.alpha * self.eta * self.slow_momentum
+                    )
+                    self.x[self._round_receivers(outcome)] = (
+                        self.server_params
+                    )
+                    self._record_round(outcome=outcome)
         return loss
 
     def _global_params(self) -> np.ndarray:
@@ -291,28 +377,50 @@ class Mime(TwoTierAlgorithm):
     def _step(self, t: int) -> float:
         with get_tracer().span("worker_step"):
             grads = self._grads
-            total = 0.0
-            for worker in range(self.fed.num_workers):
-                _, loss = self.fed.gradient(
-                    worker, self.x[worker], out=grads[worker]
-                )
-                total += loss
-            self.x -= self.eta * (
-                (1.0 - self.beta) * grads + self.beta * self.server_state
-            )
-        if t % self.tau == 0:
-            with get_tracer().span("cloud_agg"):
-                x_bar = self._average_models()
-                for worker in range(self.fed.num_workers):
-                    self.fed.gradient(worker, x_bar, out=grads[worker])
-                mean_grad = self.fed.global_average_workers(grads)
-                self.server_state = (
-                    (1.0 - self.beta) * mean_grad
+            rows = self._iteration_rows()
+            if rows is not None:
+                loss = self._gradient_rows(rows)
+                self.x[rows] -= self.eta * (
+                    (1.0 - self.beta) * grads[rows]
                     + self.beta * self.server_state
                 )
-                self._broadcast(x_bar)
-                self._record_round()
-        return total / self.fed.num_workers
+            else:
+                total = 0.0
+                for worker in range(self.fed.num_workers):
+                    _, batch_loss = self.fed.gradient(
+                        worker, self.x[worker], out=grads[worker]
+                    )
+                    total += batch_loss
+                self.x -= self.eta * (
+                    (1.0 - self.beta) * grads + self.beta * self.server_state
+                )
+                loss = total / self.fed.num_workers
+        if t % self.tau == 0:
+            with get_tracer().span("cloud_agg"):
+                outcome = self._round_outcome()
+                if not outcome.skip:
+                    x_bar = self._round_average(self.x, outcome)
+                    if outcome.pristine:
+                        for worker in range(self.fed.num_workers):
+                            self.fed.gradient(worker, x_bar, out=grads[worker])
+                        mean_grad = self.fed.global_average_workers(grads)
+                    else:
+                        # Only the reachable workers can evaluate a fresh
+                        # gradient at the aggregate for the refresh.
+                        present = outcome.present
+                        for worker in present:
+                            self.fed.gradient(worker, x_bar, out=grads[worker])
+                        w = self.fed.global_worker_w[present]
+                        mean_grad = self.fed.partial_average(
+                            grads, present, w / w.sum()
+                        )
+                    self.server_state = (
+                        (1.0 - self.beta) * mean_grad
+                        + self.beta * self.server_state
+                    )
+                    self.x[self._round_receivers(outcome)] = x_bar
+                    self._record_round(outcome=outcome)
+        return loss
 
 
 class FedADC(TwoTierAlgorithm):
@@ -352,28 +460,41 @@ class FedADC(TwoTierAlgorithm):
     def _step(self, t: int) -> float:
         with get_tracer().span("worker_step"):
             grads = self._grads
-            total = 0.0
-            for worker in range(self.fed.num_workers):
-                _, loss = self.fed.gradient(
-                    worker, self.x[worker], out=grads[worker]
+            rows = self._iteration_rows()
+            if rows is not None:
+                loss = self._gradient_rows(rows)
+                self.local_momentum[rows] = (
+                    self.beta * self.local_momentum[rows] + grads[rows]
                 )
-                total += loss
-            self.local_momentum = self.beta * self.local_momentum + grads
-            self.x -= self.eta * self.local_momentum
+                self.x[rows] -= self.eta * self.local_momentum[rows]
+            else:
+                total = 0.0
+                for worker in range(self.fed.num_workers):
+                    _, batch_loss = self.fed.gradient(
+                        worker, self.x[worker], out=grads[worker]
+                    )
+                    total += batch_loss
+                self.local_momentum = self.beta * self.local_momentum + grads
+                self.x -= self.eta * self.local_momentum
+                loss = total / self.fed.num_workers
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
-                pseudo_grad = (
-                    self.server_params - self._average_models()
-                ) / (self.eta * self.tau)
-                self.server_momentum = (
-                    self.beta * self.server_momentum
-                    + (1.0 - self.beta) * pseudo_grad
-                )
-                self.server_params = self._average_models()
-                self._broadcast(self.server_params)
-                self.local_momentum[:] = self.server_momentum
-                self._record_round()
-        return total / self.fed.num_workers
+                outcome = self._round_outcome()
+                if not outcome.skip:
+                    avg = self._round_average(self.x, outcome)
+                    pseudo_grad = (
+                        self.server_params - avg
+                    ) / (self.eta * self.tau)
+                    self.server_momentum = (
+                        self.beta * self.server_momentum
+                        + (1.0 - self.beta) * pseudo_grad
+                    )
+                    self.server_params = avg
+                    recv = self._round_receivers(outcome)
+                    self.x[recv] = self.server_params
+                    self.local_momentum[recv] = self.server_momentum
+                    self._record_round(outcome=outcome)
+        return loss
 
     def _global_params(self) -> np.ndarray:
         return self._average_models()
@@ -423,31 +544,42 @@ class FastSlowMo(TwoTierAlgorithm):
     def _step(self, t: int) -> float:
         with get_tracer().span("worker_step"):
             grads = self._grads
-            total = 0.0
-            for worker in range(self.fed.num_workers):
-                _, loss = self.fed.gradient(
-                    worker, self.x[worker], out=grads[worker]
-                )
-                total += loss
-            y_new = self.x - self.eta * grads
-            self.x = y_new + self.gamma * (y_new - self.y)
-            self.y = y_new
+            rows = self._iteration_rows()
+            if rows is not None:
+                loss = self._gradient_rows(rows)
+                y_new = self.x[rows] - self.eta * grads[rows]
+                self.x[rows] = y_new + self.gamma * (y_new - self.y[rows])
+                self.y[rows] = y_new
+            else:
+                total = 0.0
+                for worker in range(self.fed.num_workers):
+                    _, batch_loss = self.fed.gradient(
+                        worker, self.x[worker], out=grads[worker]
+                    )
+                    total += batch_loss
+                y_new = self.x - self.eta * grads
+                self.x = y_new + self.gamma * (y_new - self.y)
+                self.y = y_new
+                loss = total / self.fed.num_workers
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
-                x_bar = self._average_models()
-                y_bar = self.fed.global_average_workers(self.y)
-                pseudo_grad = (self.server_params - x_bar) / self.eta
-                self.slow_momentum = (
-                    self.beta * self.slow_momentum + pseudo_grad
-                )
-                self.server_params = (
-                    self.server_params
-                    - self.alpha * self.eta * self.slow_momentum
-                )
-                self.x[:] = self.server_params
-                self.y[:] = y_bar
-                self._record_round()
-        return total / self.fed.num_workers
+                outcome = self._round_outcome()
+                if not outcome.skip:
+                    x_bar = self._round_average(self.x, outcome)
+                    y_bar = self._round_average(self.y, outcome)
+                    pseudo_grad = (self.server_params - x_bar) / self.eta
+                    self.slow_momentum = (
+                        self.beta * self.slow_momentum + pseudo_grad
+                    )
+                    self.server_params = (
+                        self.server_params
+                        - self.alpha * self.eta * self.slow_momentum
+                    )
+                    recv = self._round_receivers(outcome)
+                    self.x[recv] = self.server_params
+                    self.y[recv] = y_bar
+                    self._record_round(outcome=outcome)
+        return loss
 
     def _global_params(self) -> np.ndarray:
         return self.server_params.copy()

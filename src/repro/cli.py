@@ -8,6 +8,7 @@ Usage examples::
     python -m repro adaptive --gamma 0.6
     python -m repro timing --target 0.9
     python -m repro trace --algorithm HierAdMo --iterations 60
+    python -m repro faults --algorithm HierAdMo --worker-dropout 0.1
     python -m repro list
 """
 
@@ -29,6 +30,7 @@ from repro.experiments import (
     run_time_to_accuracy,
 )
 from repro.experiments.table2 import TABLE2_COMBOS
+from repro.faults import DEGRADATION_POLICIES, FaultPlan
 from repro.metrics import save_history
 
 __all__ = ["main", "build_parser"]
@@ -111,6 +113,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-trace", help="write the full JSONL trace here"
     )
     _add_config_arguments(trace_parser)
+
+    faults_parser = sub.add_parser(
+        "faults", help="train under a fault plan, summarize survival"
+    )
+    faults_parser.add_argument(
+        "--algorithm", default="HierAdMo", choices=sorted(ALGORITHM_REGISTRY)
+    )
+    faults_parser.add_argument("--worker-dropout", type=float, default=0.0)
+    faults_parser.add_argument("--edge-outage", type=float, default=0.0)
+    faults_parser.add_argument("--msg-loss", type=float, default=0.0)
+    faults_parser.add_argument("--msg-dup", type=float, default=0.0)
+    faults_parser.add_argument("--msg-stale", type=float, default=0.0)
+    faults_parser.add_argument("--stale-intervals", type=int, default=1)
+    faults_parser.add_argument("--max-retries", type=int, default=3)
+    faults_parser.add_argument("--plan-seed", type=int, default=0)
+    faults_parser.add_argument(
+        "--policy", default="renormalize", choices=sorted(DEGRADATION_POLICIES)
+    )
+    _add_config_arguments(faults_parser)
 
     sweep_parser = sub.add_parser(
         "sweep", help="grid sweep, e.g. --grid eta=0.01,0.05 tau=5,10"
@@ -241,6 +262,41 @@ def main(argv: list[str] | None = None) -> int:
         if args.save_trace:
             save_trace_jsonl(tracer, args.save_trace)
             print(f"trace written to {args.save_trace}")
+        return 0
+
+    if args.command == "faults":
+        plan = FaultPlan(
+            seed=args.plan_seed,
+            worker_dropout=args.worker_dropout,
+            edge_outage=args.edge_outage,
+            msg_loss=args.msg_loss,
+            msg_duplication=args.msg_dup,
+            msg_staleness=args.msg_stale,
+            staleness_intervals=args.stale_intervals,
+            max_retries=args.max_retries,
+        )
+        history = run_single(
+            args.algorithm, config,
+            fault_plan=plan, degradation=args.policy,
+        )
+        summary = history.fault_summary or {}
+        rounds = summary.get("rounds", {})
+        total = rounds.get("total", 0)
+        survived = rounds.get("pristine", 0) + rounds.get("degraded", 0)
+        print(f"{args.algorithm}: final accuracy "
+              f"{history.final_accuracy:.4f} under policy {args.policy}")
+        print(f"rounds: {survived}/{total} survived "
+              f"({rounds.get('pristine', 0)} pristine, "
+              f"{rounds.get('degraded', 0)} degraded, "
+              f"{rounds.get('skipped', 0)} skipped)")
+        events = summary.get("events", {})
+        realized = {k: v for k, v in sorted(events.items()) if v}
+        if realized:
+            print("injected events:")
+            for name, count in realized.items():
+                print(f"  {name:<18} {count}")
+        else:
+            print("injected events: none realized")
         return 0
 
     if args.command == "timing":

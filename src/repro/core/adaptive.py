@@ -142,6 +142,30 @@ class AdaptiveGammaController:
             self.grad_sums += grads
             self.momentum_sums += y_prev
 
+    def accumulate_rows(
+        self,
+        rows: np.ndarray,
+        grads: np.ndarray,
+        y_prev: np.ndarray,
+        velocities: np.ndarray,
+    ) -> None:
+        """Record one local iteration for a *subset* of workers.
+
+        ``rows`` holds flat worker ids; the matrices are the stacked
+        per-row values aligned to ``rows``.  Used by the fault-injected
+        worker loops, where absent workers take no step (their boundary
+        flag, like their accumulators, stays untouched).
+        """
+        if self.mode == "velocity":
+            active = ~self._boundary[rows]
+            taking = rows[active]
+            self.grad_sums[taking] += grads[active]
+            self.momentum_sums[taking] += velocities[active]
+            self._boundary[rows] = False
+        else:
+            self.grad_sums[rows] += grads
+            self.momentum_sums[rows] += y_prev
+
     def gamma_for_edge(
         self, worker_indices, weights: np.ndarray
     ) -> float:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.federation import Federation
+from repro.faults import FaultInjector, FaultPlan, check_policy
 from repro.metrics.history import TrainingHistory
 from repro.telemetry import get_tracer
 from repro.utils.validation import check_positive, check_positive_int
@@ -49,6 +50,40 @@ class FLAlgorithm:
         # applied before every _step so every algorithm supports decayed
         # or warmed-up learning rates without per-algorithm code.
         self.eta_schedule = eta_schedule
+        # Fault injection (off by default): an attached injector feeds
+        # the per-iteration availability mask consulted by the worker
+        # loops and aggregations; ``None`` mask = everyone up.
+        self.faults: FaultInjector | None = None
+        self.degradation = "renormalize"
+        self._up_mask: np.ndarray | None = None
+
+    def attach_faults(
+        self,
+        plan: FaultPlan | FaultInjector,
+        *,
+        policy: str = "renormalize",
+    ) -> FaultInjector:
+        """Attach a fault plan (or prebuilt injector) to this run.
+
+        ``policy`` selects the degradation behaviour on absences (see
+        :data:`repro.faults.DEGRADATION_POLICIES`).  Returns the
+        injector so callers can read its realized-event summary.
+        """
+        if isinstance(plan, FaultInjector):
+            self.faults = plan
+        else:
+            self.faults = FaultInjector(
+                plan,
+                num_workers=self.fed.num_workers,
+                num_edges=self.fed.num_edges,
+            )
+        self.degradation = check_policy(policy)
+        return self.faults
+
+    def _iteration_rows(self) -> np.ndarray | None:
+        """Up-worker indices this iteration (``None`` = all workers)."""
+        mask = self._up_mask
+        return None if mask is None else np.flatnonzero(mask)
 
     # ------------------------------------------------------------------
     # Hooks
@@ -100,6 +135,11 @@ class FLAlgorithm:
             dim=self.fed.dim, payload_multiplier=self.payload_multiplier
         )
 
+        faults = self.faults
+        if faults is not None:
+            faults.reset()
+        self._up_mask = None
+
         self._setup()
 
         accuracy, loss = self.fed.evaluate(self._global_params())
@@ -115,6 +155,8 @@ class FLAlgorithm:
                 self.eta = check_positive(
                     self.eta_schedule(t - 1), "scheduled eta"
                 )
+            if faults is not None:
+                self._up_mask = faults.worker_mask(t)
             step_loss = self._step(t)
             if stop_on_divergence and not np.isfinite(step_loss):
                 history.diverged = True
@@ -134,8 +176,10 @@ class FLAlgorithm:
         return self._finish_run(history)
 
     def _finish_run(self, history: TrainingHistory) -> TrainingHistory:
-        """Attach the tracer's aggregate view when the run was traced."""
+        """Attach tracer and fault digests when the run recorded them."""
         tracer = get_tracer()
         if tracer.enabled:
             history.trace_summary = tracer.summary()
+        if self.faults is not None:
+            history.fault_summary = self.faults.summary()
         return history

@@ -21,6 +21,13 @@ from repro.experiments.replication import (
     run_replicated,
 )
 from repro.experiments.report import ReportScale, generate_report
+from repro.experiments.resilience import (
+    RESILIENCE_ALGORITHMS,
+    ResilienceResult,
+    format_resilience,
+    run_resilience_sweep,
+    severity_plan,
+)
 from repro.experiments.runner import (
     format_results_table,
     run_many,
@@ -80,4 +87,9 @@ __all__ = [
     "ReplicatedResult",
     "run_replicated",
     "format_replicated",
+    "RESILIENCE_ALGORITHMS",
+    "ResilienceResult",
+    "severity_plan",
+    "run_resilience_sweep",
+    "format_resilience",
 ]

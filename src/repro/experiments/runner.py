@@ -4,22 +4,31 @@ from __future__ import annotations
 
 from repro.experiments.builders import build_algorithm, build_federation
 from repro.experiments.config import ExperimentConfig
+from repro.faults import FaultPlan
 from repro.metrics.history import TrainingHistory
 
 __all__ = ["run_single", "run_many", "format_results_table"]
 
 
 def run_single(
-    algorithm: str, config: ExperimentConfig
+    algorithm: str,
+    config: ExperimentConfig,
+    *,
+    fault_plan: FaultPlan | None = None,
+    degradation: str = "renormalize",
 ) -> TrainingHistory:
     """Build a fresh federation and run one algorithm on it.
 
     Every algorithm gets an identically-seeded federation (same data
     partition, same initial model, same batch sequence), so comparisons
-    isolate the algorithm itself.
+    isolate the algorithm itself.  ``fault_plan`` attaches a fault
+    injector for the run (``degradation`` picks the policy); the
+    realized-event digest lands in ``history.fault_summary``.
     """
     federation = build_federation(config)
     runner = build_algorithm(algorithm, federation, config)
+    if fault_plan is not None:
+        runner.attach_faults(fault_plan, policy=degradation)
     return runner.run(
         config.total_iterations, eval_every=config.eval_every
     )

@@ -1,0 +1,183 @@
+"""Declarative fault plans: what can go wrong, how often, from which seed.
+
+A :class:`FaultPlan` is a frozen value object describing the failure
+processes injected into a federated run.  It never draws randomness
+itself — the :class:`~repro.faults.injector.FaultInjector` realizes the
+plan deterministically from ``plan.seed`` via hash-derived child streams
+(:func:`repro.utils.rng.child_seed`), so the same plan on the same
+topology always produces the same fault events regardless of process or
+platform ("seed-replay guarantee").
+
+Three failure families (paper §III-A assumes none of them):
+
+* **worker dropout** — each iteration, each worker is independently
+  offline with probability ``worker_dropout``: it skips the local step
+  (state frozen, sampler untouched) and misses any aggregation scheduled
+  at that iteration;
+* **edge outage** — each edge interval, each edge node is dark with
+  probability ``edge_outage``: its edge aggregation does not happen and
+  it misses a coinciding cloud round;
+* **message faults** — each inter-tier transfer is independently lost
+  with probability ``msg_loss`` (retried up to ``max_retries`` times;
+  still-failing senders are treated as absent for the round), duplicated
+  with probability ``msg_duplication`` (pure cost: extra bytes, no
+  numeric effect), and each edge→cloud upload is stale with probability
+  ``msg_staleness`` (the cloud aggregates the edge's state from
+  ``staleness_intervals`` cloud rounds ago).
+
+``scripted_worker_down`` / ``scripted_edge_down`` overlay deterministic
+outage windows on top of the probabilistic processes — the degradation-
+equivalence tests script exact participant sets through them.
+
+The all-zero plan (``FaultPlan()``) is a strict no-op: the injector
+takes a fast path that draws no randomness and perturbs no numerics, so
+attaching it reproduces fault-free trajectories bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.utils.validation import check_probability
+
+__all__ = ["FaultPlan", "DEGRADATION_POLICIES", "check_policy"]
+
+# Degradation policies selectable per algorithm (see docs/architecture.md
+# §10 for the policy matrix):
+#
+# * "renormalize"   — FedAvg-style: aggregate the survivors with their
+#   data weights renormalized to sum to 1;
+# * "carry_forward" — aggregate all participants at their original
+#   weights, absent ones contributing their last-known state;
+# * "skip_round"    — abandon any aggregation with an absentee entirely
+#   (workers keep training locally until the next scheduled round).
+DEGRADATION_POLICIES = ("renormalize", "carry_forward", "skip_round")
+
+
+def check_policy(policy: str) -> str:
+    """Validate a degradation-policy name and return it."""
+    if policy not in DEGRADATION_POLICIES:
+        raise ValueError(
+            f"policy must be one of {DEGRADATION_POLICIES}, got {policy!r}"
+        )
+    return policy
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, declarative description of the faults to inject."""
+
+    seed: int = 0
+    worker_dropout: float = 0.0
+    edge_outage: float = 0.0
+    msg_loss: float = 0.0
+    msg_duplication: float = 0.0
+    msg_staleness: float = 0.0
+    staleness_intervals: int = 1
+    max_retries: int = 3
+    # Deterministic outage windows: (worker, first_iteration,
+    # last_iteration) / (edge, first_interval, last_interval), both ends
+    # inclusive, overlaid on the probabilistic processes.
+    scripted_worker_down: tuple[tuple[int, int, int], ...] = field(
+        default_factory=tuple
+    )
+    scripted_edge_down: tuple[tuple[int, int, int], ...] = field(
+        default_factory=tuple
+    )
+
+    def __post_init__(self):
+        check_probability(self.worker_dropout, "worker_dropout")
+        check_probability(self.edge_outage, "edge_outage")
+        check_probability(self.msg_loss, "msg_loss")
+        check_probability(self.msg_duplication, "msg_duplication")
+        check_probability(self.msg_staleness, "msg_staleness")
+        if self.staleness_intervals < 1:
+            raise ValueError(
+                f"staleness_intervals must be >= 1, got "
+                f"{self.staleness_intervals}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        # Normalize scripts to hashable tuples so plans stay frozen
+        # value objects even when built from lists.
+        object.__setattr__(
+            self,
+            "scripted_worker_down",
+            tuple(
+                (int(i), int(a), int(b))
+                for i, a, b in self.scripted_worker_down
+            ),
+        )
+        object.__setattr__(
+            self,
+            "scripted_edge_down",
+            tuple(
+                (int(i), int(a), int(b))
+                for i, a, b in self.scripted_edge_down
+            ),
+        )
+        for what, script in (
+            ("scripted_worker_down", self.scripted_worker_down),
+            ("scripted_edge_down", self.scripted_edge_down),
+        ):
+            for index, start, stop in script:
+                if index < 0 or start < 0 or stop < start:
+                    raise ValueError(
+                        f"bad {what} entry ({index}, {start}, {stop}): "
+                        "want index >= 0 and 0 <= start <= stop"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan injects nothing at all (strict no-op)."""
+        return (
+            self.worker_dropout == 0.0
+            and self.edge_outage == 0.0
+            and self.msg_loss == 0.0
+            and self.msg_duplication == 0.0
+            and self.msg_staleness == 0.0
+            and not self.scripted_worker_down
+            and not self.scripted_edge_down
+        )
+
+    @property
+    def has_message_faults(self) -> bool:
+        """True when any per-transfer fault process is live."""
+        return self.msg_loss > 0.0 or self.msg_duplication > 0.0
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able form (scripts become lists of lists)."""
+        payload = asdict(self)
+        payload["scripted_worker_down"] = [
+            list(entry) for entry in self.scripted_worker_down
+        ]
+        payload["scripted_edge_down"] = [
+            list(entry) for entry in self.scripted_edge_down
+        ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            worker_dropout=float(payload.get("worker_dropout", 0.0)),
+            edge_outage=float(payload.get("edge_outage", 0.0)),
+            msg_loss=float(payload.get("msg_loss", 0.0)),
+            msg_duplication=float(payload.get("msg_duplication", 0.0)),
+            msg_staleness=float(payload.get("msg_staleness", 0.0)),
+            staleness_intervals=int(payload.get("staleness_intervals", 1)),
+            max_retries=int(payload.get("max_retries", 3)),
+            scripted_worker_down=tuple(
+                tuple(entry)
+                for entry in payload.get("scripted_worker_down", ())
+            ),
+            scripted_edge_down=tuple(
+                tuple(entry)
+                for entry in payload.get("scripted_edge_down", ())
+            ),
+        )

@@ -1,0 +1,140 @@
+"""Resolve one aggregation round's membership under faults.
+
+:func:`degrade_round` is the one piece of logic every algorithm's
+aggregation shares: given the candidates of a round (the workers of an
+edge, all workers of a two-tier round, the edges of a cloud round),
+their aggregation weights, and the iteration's availability mask, it
+applies upload-loss outcomes and the degradation policy and returns a
+:class:`RoundOutcome` describing
+
+* which rows to aggregate and at which weights,
+* which rows receive the redistribution (absent or download-failed
+  participants keep their local state),
+* how many ledger transfer events the round actually caused (attempted
+  uploads + retransmissions + duplicates + successful downloads).
+
+The ``pristine`` outcome is a shared sentinel meaning "nothing was
+degraded — run the original code path"; it guarantees bit-exact
+numerics whenever no fault is realized, which is what makes the
+zero-fault golden-trajectory acceptance hold by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import check_policy
+
+__all__ = ["RoundOutcome", "PRISTINE_ROUND", "degrade_round"]
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """Resolved membership and accounting for one aggregation round."""
+
+    pristine: bool = False
+    skip: bool = False
+    # Rows (indices into the candidate set) whose state enters the
+    # weighted average, with the aligned effective weights.
+    agg_rows: np.ndarray | None = None
+    agg_weights: np.ndarray | None = None
+    # Rows that actually uploaded this round (reachable survivors) —
+    # differs from agg_rows under carry_forward, where stale state of
+    # absent rows is aggregated without any new message.
+    present: np.ndarray | None = None
+    # Rows that receive the redistributed result.
+    receivers: np.ndarray | None = None
+    # Ledger transfer events: uploads (incl. retries/duplicates) plus
+    # successful downloads.
+    events: int = 0
+
+
+PRISTINE_ROUND = RoundOutcome(pristine=True)
+_SKIPPED_ROUND = RoundOutcome(skip=True)
+
+
+def degrade_round(
+    faults: FaultInjector | None,
+    policy: str,
+    weights: np.ndarray,
+    up: np.ndarray | None,
+    *,
+    downloads: bool = True,
+) -> RoundOutcome:
+    """Resolve one round over ``len(weights)`` candidates.
+
+    ``up`` is the iteration's availability mask restricted to the
+    candidates (``None`` = everyone up).  Returns :data:`PRISTINE_ROUND`
+    when no fault touches the round, a ``skip`` outcome when the policy
+    abandons it (or no survivor remains), else the degraded membership.
+    """
+    if faults is None or not faults.active:
+        return PRISTINE_ROUND
+    count = len(weights)
+    candidates = np.arange(count)
+    available = candidates if up is None else candidates[up]
+
+    # Upload loss: reachable survivors must also get a message through.
+    outcome = faults.transfer_outcome(available.size)
+    if outcome.failed:
+        delivered = np.ones(available.size, dtype=bool)
+        delivered[list(outcome.failed)] = False
+        present = available[delivered]
+    else:
+        present = available
+
+    upload_events = available.size + outcome.extra_events
+
+    if present.size == count and not outcome.extra_events:
+        # Nobody absent, nothing lost or duplicated: bit-exact path.
+        faults.note_round("pristine")
+        return PRISTINE_ROUND
+
+    check_policy(policy)
+    degraded = present.size < count
+    if degraded and policy == "skip_round":
+        # The coordinator abandons the round before any transfer is
+        # billed; workers train on until the next scheduled round.
+        faults.note_round("skipped")
+        return _SKIPPED_ROUND
+    if present.size == 0:
+        faults.note_round("skipped")
+        return _SKIPPED_ROUND
+
+    if degraded and policy == "renormalize":
+        agg_rows = present
+        agg_weights = weights[present] / weights[present].sum()
+    else:
+        # carry_forward (or nothing absent, only retries/duplicates):
+        # every candidate's last-known state at its original weight.
+        agg_rows = candidates
+        agg_weights = weights
+
+    # Redistribution reaches the reachable survivors whose download
+    # also gets through.
+    receivers = present
+    events = upload_events
+    if downloads:
+        download = faults.transfer_outcome(present.size)
+        if download.failed:
+            got = np.ones(present.size, dtype=bool)
+            got[list(download.failed)] = False
+            receivers = present[got]
+            degraded = True
+        # Lost downloads were still transmitted: bill initial attempts
+        # for every present row plus all retransmissions/duplicates.
+        events += present.size + download.extra_events
+
+    faults.note_round("degraded" if degraded else "pristine")
+    return RoundOutcome(
+        pristine=False,
+        skip=False,
+        agg_rows=agg_rows,
+        agg_weights=agg_weights,
+        present=present,
+        receivers=receivers,
+        events=events,
+    )

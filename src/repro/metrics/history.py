@@ -40,6 +40,11 @@ class TrainingHistory:
     # under an enabled tracer; None otherwise.
     trace_summary: dict | None = None
 
+    # Fault-injection digest (``FaultInjector.summary()``: the plan,
+    # realized event counts, round outcomes) when the run had a fault
+    # plan attached; None otherwise.
+    fault_summary: dict | None = None
+
     # Set when the run was stopped early on a non-finite training loss.
     diverged: bool = False
     diverged_at: int | None = None

@@ -39,6 +39,7 @@ def history_to_dict(history: TrainingHistory) -> dict:
         "edge_cloud_rounds": history.edge_cloud_rounds,
         "comm": history.comm.to_dict(),
         "trace_summary": history.trace_summary,
+        "fault_summary": history.fault_summary,
     }
 
 
@@ -63,6 +64,7 @@ def history_from_dict(payload: dict) -> TrainingHistory:
         history.worker_edge_rounds = int(payload.get("worker_edge_rounds", 0))
         history.edge_cloud_rounds = int(payload.get("edge_cloud_rounds", 0))
     history.trace_summary = payload.get("trace_summary")
+    history.fault_summary = payload.get("fault_summary")
     return history
 
 

@@ -17,7 +17,12 @@ from repro.simulation.energy import (
     estimate_three_tier_energy,
     estimate_two_tier_energy,
 )
-from repro.simulation.links import LINK_PRESETS, LinkProfile
+from repro.simulation.links import (
+    DEFAULT_RETRY_POLICY,
+    LINK_PRESETS,
+    LinkProfile,
+    RetryPolicy,
+)
 from repro.simulation.stragglers import StragglerDevice, add_stragglers
 from repro.simulation.timeline import (
     ThreeTierTimeline,
@@ -31,6 +36,8 @@ __all__ = [
     "worker_device_pool",
     "LinkProfile",
     "LINK_PRESETS",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
     "StragglerDevice",
     "add_stragglers",
     "EventDrivenSimulator",

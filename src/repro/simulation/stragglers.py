@@ -31,6 +31,16 @@ class StragglerDevice:
     factor: float
 
     def __post_init__(self):
+        if isinstance(self.base, StragglerDevice):
+            # Double-wrapping compounds the stall probability invisibly
+            # (and ``add_stragglers`` over an already-wrapped pool is
+            # always a bug); demand the caller wrap the underlying
+            # profile with combined parameters instead.
+            raise TypeError(
+                "StragglerDevice cannot wrap another StragglerDevice; "
+                f"wrap {self.base.base.name!r} with combined parameters "
+                "instead"
+            )
         check_probability(self.probability, "probability")
         check_positive(self.factor, "factor")
 

@@ -25,10 +25,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults import FaultPlan
 from repro.metrics.history import TrainingHistory
 from repro.simulation.devices import DEVICE_PRESETS, DeviceProfile
 from repro.telemetry import get_tracer
-from repro.simulation.links import LINK_PRESETS, LinkProfile
+from repro.simulation.links import (
+    LINK_PRESETS,
+    LinkProfile,
+    RetryPolicy,
+)
 from repro.topology import Topology
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_positive, check_positive_int
@@ -60,6 +65,12 @@ class ThreeTierTimeline:
         default_factory=lambda: LINK_PRESETS["wan_internet"]
     )
     payload_multiplier: float = 1.0
+    # Message-loss pricing: with a fault plan attached, every simulated
+    # transfer may be lost with ``fault_plan.msg_loss`` probability and
+    # is then retried under ``retry_policy`` (timeout + backoff +
+    # retransmission all added to the wall clock).
+    fault_plan: FaultPlan | None = None
+    retry_policy: RetryPolicy | None = None
 
     def __post_init__(self):
         if len(self.worker_devices) != self.topology.num_workers:
@@ -100,56 +111,91 @@ class ThreeTierTimeline:
         times[0] = 0.0
         clock = 0.0
         edge_rounds = cloud_rounds = 0
+        retries = 0
         for t in range(1, total_iterations + 1):
             # Parallel workers: the slowest defines the iteration.
             clock += float(compute[:, t - 1].max())
             if t % tau == 0:
-                clock += self._edge_round(payload, rng)
+                seconds, round_retries = self._edge_round(payload, rng)
+                clock += seconds
+                retries += round_retries
                 edge_rounds += 1
             if t % (tau * pi) == 0:
-                clock += self._cloud_round(payload, rng)
+                seconds, round_retries = self._cloud_round(payload, rng)
+                clock += seconds
+                retries += round_retries
                 cloud_rounds += 1
             times[t] = clock
         tracer = get_tracer()
         if tracer.enabled:
             tracer.count("sim.three_tier.edge_rounds", edge_rounds)
             tracer.count("sim.three_tier.cloud_rounds", cloud_rounds)
+            if retries:
+                tracer.count("sim.three_tier.retries", retries)
             tracer.count(
                 "sim.three_tier.bytes",
                 payload
                 * (
                     2 * edge_rounds * self.topology.num_workers
                     + 2 * cloud_rounds * self.topology.num_edges
+                    + retries
                 ),
             )
         return times
 
-    def _edge_round(self, payload: float, rng: np.random.Generator) -> float:
+    @property
+    def _loss_prob(self) -> float:
+        plan = self.fault_plan
+        return plan.msg_loss if plan is not None else 0.0
+
+    def _transfer(
+        self, link: LinkProfile, payload: float, rng: np.random.Generator
+    ) -> tuple[float, int]:
+        """(seconds, retries) of one transfer under the fault plan."""
+        loss = self._loss_prob
+        if loss <= 0.0:
+            return link.transfer_time(payload, rng), 0
+        return link.transfer_time_with_retries(
+            payload, rng, loss_prob=loss, policy=self.retry_policy
+        )
+
+    def _edge_round(
+        self, payload: float, rng: np.random.Generator
+    ) -> tuple[float, int]:
         """Worker→edge sync: edges run in parallel, take the slowest."""
         slowest = 0.0
+        retries = 0
         for edge in range(self.topology.num_edges):
             workers = self.topology.workers_in_edge(edge)
-            upload = max(
-                self.lan.transfer_time(payload, rng) for _ in range(workers)
-            )
-            download = max(
-                self.lan.transfer_time(payload, rng) for _ in range(workers)
-            )
+            upload = download = 0.0
+            for _ in range(workers):
+                seconds, r = self._transfer(self.lan, payload, rng)
+                upload = max(upload, seconds)
+                retries += r
+            for _ in range(workers):
+                seconds, r = self._transfer(self.lan, payload, rng)
+                download = max(download, seconds)
+                retries += r
             aggregate = self.edge_device.sample_aggregation(rng)
             slowest = max(slowest, upload + aggregate + download)
-        return slowest
+        return slowest, retries
 
-    def _cloud_round(self, payload: float, rng: np.random.Generator) -> float:
+    def _cloud_round(
+        self, payload: float, rng: np.random.Generator
+    ) -> tuple[float, int]:
         """Edge→cloud sync over the WAN."""
-        upload = max(
-            self.wan.transfer_time(payload, rng)
-            for _ in range(self.topology.num_edges)
-        )
-        download = max(
-            self.wan.transfer_time(payload, rng)
-            for _ in range(self.topology.num_edges)
-        )
-        return upload + self.cloud_device.sample_aggregation(rng) + download
+        upload = download = 0.0
+        retries = 0
+        for _ in range(self.topology.num_edges):
+            seconds, r = self._transfer(self.wan, payload, rng)
+            upload = max(upload, seconds)
+            retries += r
+        for _ in range(self.topology.num_edges):
+            seconds, r = self._transfer(self.wan, payload, rng)
+            download = max(download, seconds)
+            retries += r
+        aggregate = self.cloud_device.sample_aggregation(rng)
+        return upload + aggregate + download, retries
 
 
 @dataclass
@@ -170,6 +216,8 @@ class TwoTierTimeline:
         default_factory=lambda: LINK_PRESETS["wan_internet"]
     )
     payload_multiplier: float = 1.0
+    fault_plan: FaultPlan | None = None
+    retry_policy: RetryPolicy | None = None
 
     def __post_init__(self):
         check_positive_int(self.num_workers, "num_workers")
@@ -204,17 +252,19 @@ class TwoTierTimeline:
         times[0] = 0.0
         clock = 0.0
         rounds = 0
+        retries = 0
         for t in range(1, total_iterations + 1):
             clock += float(compute[:, t - 1].max())
             if t % tau == 0:
-                upload = max(
-                    self.wan.transfer_time(payload, rng)
-                    for _ in range(self.num_workers)
-                )
-                download = max(
-                    self.wan.transfer_time(payload, rng)
-                    for _ in range(self.num_workers)
-                )
+                upload = download = 0.0
+                for _ in range(self.num_workers):
+                    seconds, r = self._transfer(payload, rng)
+                    upload = max(upload, seconds)
+                    retries += r
+                for _ in range(self.num_workers):
+                    seconds, r = self._transfer(payload, rng)
+                    download = max(download, seconds)
+                    retries += r
                 clock += (
                     upload
                     + self.cloud_device.sample_aggregation(rng)
@@ -225,11 +275,25 @@ class TwoTierTimeline:
         tracer = get_tracer()
         if tracer.enabled:
             tracer.count("sim.two_tier.rounds", rounds)
+            if retries:
+                tracer.count("sim.two_tier.retries", retries)
             tracer.count(
                 "sim.two_tier.bytes",
-                payload * 2 * rounds * self.num_workers,
+                payload * (2 * rounds * self.num_workers + retries),
             )
         return times
+
+    def _transfer(
+        self, payload: float, rng: np.random.Generator
+    ) -> tuple[float, int]:
+        """(seconds, retries) of one WAN transfer under the fault plan."""
+        plan = self.fault_plan
+        loss = plan.msg_loss if plan is not None else 0.0
+        if loss <= 0.0:
+            return self.wan.transfer_time(payload, rng), 0
+        return self.wan.transfer_time_with_retries(
+            payload, rng, loss_prob=loss, policy=self.retry_policy
+        )
 
 
 def time_to_accuracy(

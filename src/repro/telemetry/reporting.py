@@ -115,6 +115,27 @@ def _comm_section(ledger, lines: list[str]) -> None:
     )
 
 
+def _fault_section(fault_summary: dict, lines: list[str]) -> None:
+    rounds = fault_summary.get("rounds", {})
+    lines.append(
+        "rounds: "
+        f"{rounds.get('pristine', 0)} pristine, "
+        f"{rounds.get('degraded', 0)} degraded, "
+        f"{rounds.get('skipped', 0)} skipped "
+        f"(of {rounds.get('total', 0)})"
+    )
+    events = fault_summary.get("events", {})
+    rows = [
+        [name, str(value)]
+        for name, value in sorted(events.items())
+        if value
+    ]
+    if rows:
+        lines.extend(_format_rows(["event", "count"], rows))
+    else:
+        lines.append("(no fault events realized)")
+
+
 def _top_spans_section(tracer: Tracer, k: int, lines: list[str]) -> None:
     top = tracer.top_spans(k)
     if not top:
@@ -151,6 +172,10 @@ def format_trace_report(tracer: Tracer, history=None, *, top: int = 5) -> str:
         lines.append("")
         lines.append("== communication ledger ==")
         _comm_section(history.comm, lines)
+    if history is not None and history.fault_summary is not None:
+        lines.append("")
+        lines.append("== fault injection ==")
+        _fault_section(history.fault_summary, lines)
     lines.append("")
     lines.append(f"== top {top} slowest spans ==")
     _top_spans_section(tracer, top, lines)

@@ -45,6 +45,18 @@ class TestStragglerDevice:
         with pytest.raises(ValueError):
             StragglerDevice(self.base(), 0.5, 0.0)
 
+    def test_double_wrap_rejected(self):
+        """Regression: wrapping a StragglerDevice compounded the stall
+        probability invisibly; it must raise instead."""
+        wrapped = StragglerDevice(self.base(), 0.1, 5.0)
+        with pytest.raises(TypeError, match="cannot wrap another"):
+            StragglerDevice(wrapped, 0.1, 5.0)
+
+    def test_add_stragglers_over_wrapped_pool_rejected(self):
+        pool = add_stragglers(worker_device_pool(3), 0.1, 5.0)
+        with pytest.raises(TypeError, match="combined parameters"):
+            add_stragglers(pool, 0.2, 3.0)
+
 
 class TestTimelineIntegration:
     def test_stragglers_slow_the_timeline(self):

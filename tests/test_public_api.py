@@ -26,6 +26,7 @@ class TestTopLevel:
             "repro.topology",
             "repro.core",
             "repro.algorithms",
+            "repro.faults",
             "repro.simulation",
             "repro.theory",
             "repro.metrics",
