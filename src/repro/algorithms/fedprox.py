@@ -53,15 +53,9 @@ class FedProx(TwoTierAlgorithm):
                 proximal = self.mu * (self.x[rows] - self.global_params)
                 self.x[rows] -= self.eta * (grads[rows] + proximal)
             else:
-                total = 0.0
-                for worker in range(self.fed.num_workers):
-                    _, batch_loss = self.fed.gradient(
-                        worker, self.x[worker], out=grads[worker]
-                    )
-                    total += batch_loss
+                loss = self._gradient_iteration(self.x)
                 proximal = self.mu * (self.x - self.global_params)
                 self.x -= self.eta * (grads + proximal)
-                loss = total / self.fed.num_workers
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
                 outcome = self._round_outcome()

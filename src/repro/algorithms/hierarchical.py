@@ -57,29 +57,19 @@ class HierFAVG(FLAlgorithm):
             grads = self._grads
             rows = self._iteration_rows()
             if rows is not None:
-                total = 0.0
-                for worker in rows:
-                    _, loss = self.fed.gradient(
-                        worker, self.x[worker], out=grads[worker]
-                    )
-                    total += loss
+                mean_loss = self._gradient_iteration(self.x, rows)
                 self.x[rows] -= self.eta * grads[rows]
-                return total / rows.size
-            total = 0.0
-            for worker in range(self.fed.num_workers):
-                _, loss = self.fed.gradient(
-                    worker, self.x[worker], out=grads[worker]
-                )
-                total += loss
+                return mean_loss
+            mean_loss = self._gradient_iteration(self.x)
             self.x -= self.eta * grads
-            return total / self.fed.num_workers
+            return mean_loss
 
     def _edge_aggregate(self, redistribute: bool = True, *, t: int = 0) -> None:
         with get_tracer().span("edge_agg"):
             fed = self.fed
             faults = self.faults
             if faults is None or not faults.active:
-                self.edge_models[:] = fed.edge_average_all(self.x)
+                fed.edge_average_all(self.x, out=self.edge_models)
                 transfers = fed.num_workers  # uploads
                 if redistribute:
                     for edge in range(fed.num_edges):

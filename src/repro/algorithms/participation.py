@@ -64,13 +64,8 @@ class SampledFedAvg(TwoTierAlgorithm):
     def _step(self, t: int) -> float:
         with get_tracer().span("worker_step"):
             grads = self._grads
-            rows = self._train_rows()
-            total = 0.0
-            for worker in rows:
-                _, loss = self.fed.gradient(
-                    worker, self.x[worker], out=grads[worker]
-                )
-                total += loss
+            rows = np.asarray(self._train_rows())
+            mean_loss = self._gradient_iteration(self.x, rows)
             self.x[rows] -= self.eta * grads[rows]
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
@@ -97,7 +92,7 @@ class SampledFedAvg(TwoTierAlgorithm):
                     self._sample_round()
                 # A skipped round keeps this round's participants training
                 # until the next scheduled aggregation.
-        return total / len(rows)
+        return mean_loss
 
     def _train_rows(self) -> list[int]:
         """This iteration's training set: sampled ∩ up (never empty)."""

@@ -99,14 +99,7 @@ class TwoTierAlgorithm(FLAlgorithm):
     # ------------------------------------------------------------------
     def _gradient_rows(self, rows: np.ndarray) -> float:
         """Gradient pass over the up workers only; returns their mean loss."""
-        grads = self._grads
-        total = 0.0
-        for worker in rows:
-            _, loss = self.fed.gradient(
-                worker, self.x[worker], out=grads[worker]
-            )
-            total += loss
-        return total / rows.size
+        return self._gradient_iteration(self.x, rows)
 
     def _round_outcome(self) -> RoundOutcome:
         """This round's membership over all workers under the fault plan."""
@@ -141,14 +134,9 @@ class TwoTierAlgorithm(FLAlgorithm):
                 mean_loss = self._gradient_rows(rows)
                 self.x[rows] -= self.eta * grads[rows]
                 return mean_loss
-            total = 0.0
-            for worker in range(self.fed.num_workers):
-                _, loss = self.fed.gradient(
-                    worker, self.x[worker], out=grads[worker]
-                )
-                total += loss
+            mean_loss = self._gradient_iteration(self.x)
             self.x -= self.eta * grads
-            return total / self.fed.num_workers
+            return mean_loss
 
 
 class FedAvg(TwoTierAlgorithm):
@@ -208,16 +196,11 @@ class FedNAG(TwoTierAlgorithm):
                 self.x[rows] = y_new + self.gamma * (y_new - self.y[rows])
                 self.y[rows] = y_new
                 return mean_loss
-            total = 0.0
-            for worker in range(self.fed.num_workers):
-                _, loss = self.fed.gradient(
-                    worker, self.x[worker], out=grads[worker]
-                )
-                total += loss
+            mean_loss = self._gradient_iteration(self.x)
             y_new = self.x - self.eta * grads
             self.x = y_new + self.gamma * (y_new - self.y)
             self.y = y_new
-            return total / self.fed.num_workers
+            return mean_loss
 
     def _step(self, t: int) -> float:
         loss = self._nag_iteration()
@@ -385,31 +368,24 @@ class Mime(TwoTierAlgorithm):
                     + self.beta * self.server_state
                 )
             else:
-                total = 0.0
-                for worker in range(self.fed.num_workers):
-                    _, batch_loss = self.fed.gradient(
-                        worker, self.x[worker], out=grads[worker]
-                    )
-                    total += batch_loss
+                loss = self._gradient_iteration(self.x)
                 self.x -= self.eta * (
                     (1.0 - self.beta) * grads + self.beta * self.server_state
                 )
-                loss = total / self.fed.num_workers
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
                 outcome = self._round_outcome()
                 if not outcome.skip:
                     x_bar = self._round_average(self.x, outcome)
+                    shared = np.broadcast_to(x_bar, grads.shape)
                     if outcome.pristine:
-                        for worker in range(self.fed.num_workers):
-                            self.fed.gradient(worker, x_bar, out=grads[worker])
+                        self.fed.gradient_all(shared, out=grads)
                         mean_grad = self.fed.global_average_workers(grads)
                     else:
                         # Only the reachable workers can evaluate a fresh
                         # gradient at the aggregate for the refresh.
                         present = outcome.present
-                        for worker in present:
-                            self.fed.gradient(worker, x_bar, out=grads[worker])
+                        self.fed.gradient_all(shared, rows=present, out=grads)
                         w = self.fed.global_worker_w[present]
                         mean_grad = self.fed.partial_average(
                             grads, present, w / w.sum()
@@ -468,15 +444,9 @@ class FedADC(TwoTierAlgorithm):
                 )
                 self.x[rows] -= self.eta * self.local_momentum[rows]
             else:
-                total = 0.0
-                for worker in range(self.fed.num_workers):
-                    _, batch_loss = self.fed.gradient(
-                        worker, self.x[worker], out=grads[worker]
-                    )
-                    total += batch_loss
+                loss = self._gradient_iteration(self.x)
                 self.local_momentum = self.beta * self.local_momentum + grads
                 self.x -= self.eta * self.local_momentum
-                loss = total / self.fed.num_workers
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
                 outcome = self._round_outcome()
@@ -551,16 +521,10 @@ class FastSlowMo(TwoTierAlgorithm):
                 self.x[rows] = y_new + self.gamma * (y_new - self.y[rows])
                 self.y[rows] = y_new
             else:
-                total = 0.0
-                for worker in range(self.fed.num_workers):
-                    _, batch_loss = self.fed.gradient(
-                        worker, self.x[worker], out=grads[worker]
-                    )
-                    total += batch_loss
+                loss = self._gradient_iteration(self.x)
                 y_new = self.x - self.eta * grads
                 self.x = y_new + self.gamma * (y_new - self.y)
                 self.y = y_new
-                loss = total / self.fed.num_workers
         if t % self.tau == 0:
             with get_tracer().span("cloud_agg"):
                 outcome = self._round_outcome()

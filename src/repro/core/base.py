@@ -85,6 +85,19 @@ class FLAlgorithm:
         mask = self._up_mask
         return None if mask is None else np.flatnonzero(mask)
 
+    def _gradient_iteration(
+        self, params: np.ndarray, rows: np.ndarray | None = None
+    ) -> float:
+        """All (up) workers' gradients into ``self._grads``; mean loss.
+
+        The shared inner-loop step every algorithm's ``_step`` builds
+        on: one :meth:`Federation.gradient_all` call (batched engine
+        when available, per-worker loop otherwise) filling the stacked
+        gradient matrix in place.
+        """
+        losses = self.fed.gradient_all(params, rows=rows, out=self._grads)
+        return float(losses.mean())
+
     # ------------------------------------------------------------------
     # Hooks
     # ------------------------------------------------------------------

@@ -15,6 +15,17 @@ Algorithms keep per-worker *state* as stacked ``(num_workers, dim)`` /
 aggregation helper here is a single ``weights @ matrix`` GEMM and
 redistribution is a row-broadcast assignment.  The helpers also accept
 plain lists of flat vectors (stacked on the fly) for ad-hoc callers.
+
+The gradient oracle comes in two backends.  :meth:`Federation.gradient`
+runs one worker's pass through the shared model; the hot path is
+:meth:`Federation.gradient_all`, which evaluates *all* workers in one
+batched program over a leading worker axis (see
+:mod:`repro.nn.batched`) and falls back to the per-worker loop for
+models that cannot be lowered (conv stacks, batch norm, live dropout)
+or on heterogeneous per-worker batch shapes.  ``backend=`` selects the
+behaviour: ``"auto"`` (default) batches when possible, ``"loop"``
+forces the per-worker loop, ``"batched"`` raises if the model cannot
+be lowered.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ import numpy as np
 from repro.data.base import Dataset
 from repro.data.loader import BatchSampler, FullBatchSampler
 from repro.metrics.history import TrainingHistory
+from repro.nn.batched import lower_supervised_model
 from repro.nn.supervised import SupervisedModel
 from repro.telemetry import get_tracer
 from repro.topology import Topology
@@ -45,6 +57,7 @@ class Federation:
         batch_size: int = 64,
         seed: int = 0,
         full_batch: bool = False,
+        backend: str = "auto",
     ):
         if not edge_partitions or any(not edge for edge in edge_partitions):
             raise ValueError("edge_partitions must be a non-empty list of "
@@ -85,6 +98,33 @@ class Federation:
             self.edge_slices.append(slice(start, stop))
             start = stop
 
+        # Batched gradient engine (see module docstring).
+        if backend not in ("auto", "batched", "loop"):
+            raise ValueError(
+                f"backend must be 'auto', 'batched' or 'loop', got {backend!r}"
+            )
+        self._engine = None
+        if backend != "loop":
+            program = lower_supervised_model(model)
+            if program is not None and self._stackable():
+                self._engine = program
+            elif backend == "batched":
+                raise ValueError(
+                    "backend='batched' but the model cannot be lowered to "
+                    "the batched engine (unsupported layers/loss or "
+                    "heterogeneous per-worker batches); use backend='auto' "
+                    "for transparent fallback"
+                )
+        # Full-batch samplers always return the same arrays, so their
+        # stacked (W, B, ...) tensor is built once and cached.
+        self._full_batch_stack: tuple[np.ndarray, np.ndarray] | None = None
+
+    def _stackable(self) -> bool:
+        """True when every worker's batches stack into one (W, B, ...)."""
+        sizes = {sampler.batch_size for sampler in self.samplers}
+        shapes = {ds.x.shape[1:] for ds in self.worker_datasets}
+        return len(sizes) == 1 and len(shapes) == 1
+
     # ------------------------------------------------------------------
     # Shape shortcuts
     # ------------------------------------------------------------------
@@ -100,6 +140,11 @@ class Federation:
     def dim(self) -> int:
         """Model parameter dimension d."""
         return self._initial_params.size
+
+    @property
+    def gradient_backend(self) -> str:
+        """Active gradient backend: ``"batched"`` or ``"loop"``."""
+        return "loop" if self._engine is None else "batched"
 
     def initial_params(self) -> np.ndarray:
         """Copy of the shared initial parameter vector x⁰."""
@@ -131,6 +176,79 @@ class Federation:
         x, y = self.samplers[worker].next_batch()
         return self.model.gradient(x, y, params, out=out)
 
+    def gradient_all(
+        self,
+        params: np.ndarray,
+        *,
+        rows: np.ndarray | None = None,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Every worker's gradient on its next mini-batch, in one pass.
+
+        ``params`` is the stacked ``(num_workers, dim)`` parameter
+        matrix (one row per worker; a broadcast view works for shared
+        parameters).  ``out`` receives each worker's gradient in the
+        matching row.  ``rows``, when given, restricts the pass to that
+        worker subset (fault-masked iterations); only those samplers
+        are consumed and only those ``out`` rows written.  Returns the
+        per-worker batch losses aligned with ``rows`` order.
+
+        Uses the batched engine when available, consuming each sampler
+        in worker order so the mini-batch streams are identical to the
+        per-worker loop; falls back to the loop for non-lowerable
+        models or non-finite parameters (whose divergence semantics
+        are per-worker).
+        """
+        params = np.asarray(params)
+        if self._engine is not None:
+            if rows is None:
+                stacked_params, stacked_grads = params, out
+            else:
+                stacked_params = params[rows]
+                stacked_grads = np.empty_like(stacked_params)
+            if np.isfinite(stacked_params).all():
+                xs, ys = self._stacked_batches(rows)
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.count("worker_step.backend.batched")
+                losses = self._engine.gradient_all(
+                    stacked_params, xs, ys, stacked_grads
+                )
+                if rows is not None:
+                    out[rows] = stacked_grads
+                return losses
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("worker_step.backend.loop")
+        workers = range(self.num_workers) if rows is None else rows
+        losses = np.empty(len(workers))
+        for position, worker in enumerate(workers):
+            _, losses[position] = self.gradient(
+                worker, params[worker], out=out[worker]
+            )
+        return losses
+
+    def _stacked_batches(
+        self, rows: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stack the selected workers' next mini-batches into (R, B, ...)."""
+        if isinstance(self.samplers[0], FullBatchSampler):
+            if self._full_batch_stack is None:
+                self._full_batch_stack = (
+                    np.stack([ds.x for ds in self.worker_datasets]),
+                    np.stack([ds.y for ds in self.worker_datasets]),
+                )
+            xs, ys = self._full_batch_stack
+            if rows is None:
+                return xs, ys
+            return xs[rows], ys[rows]
+        workers = range(self.num_workers) if rows is None else rows
+        batches = [self.samplers[worker].next_batch() for worker in workers]
+        return (
+            np.stack([x for x, _ in batches]),
+            np.stack([y for _, y in batches]),
+        )
+
     # ------------------------------------------------------------------
     # Aggregation helpers (each one GEMM over stacked state)
     # ------------------------------------------------------------------
@@ -143,13 +261,24 @@ class Federation:
         matrix = np.asarray(vectors)
         return self.worker_w_in_edge[edge] @ matrix[self.edge_slices[edge]]
 
-    def edge_average_all(self, vectors) -> np.ndarray:
-        """All edges' within-edge averages as one ``(num_edges, dim)``."""
+    def edge_average_all(
+        self, vectors, *, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """All edges' within-edge averages as one ``(num_edges, dim)``.
+
+        ``out``, when given, receives each edge's GEMV in the matching
+        row (no intermediate per-edge vectors, no final stack copy).
+        """
         matrix = np.asarray(vectors)
-        return np.vstack([
-            self.worker_w_in_edge[edge] @ matrix[self.edge_slices[edge]]
-            for edge in range(self.num_edges)
-        ])
+        if out is None:
+            out = np.empty((self.num_edges, matrix.shape[1]))
+        for edge in range(self.num_edges):
+            np.matmul(
+                self.worker_w_in_edge[edge],
+                matrix[self.edge_slices[edge]],
+                out=out[edge],
+            )
+        return out
 
     def cloud_average_edges(self, vectors) -> np.ndarray:
         """Weighted over-edges average Σℓ (Dℓ/D) vℓ."""
@@ -178,17 +307,17 @@ class Federation:
         A diverged model (non-finite parameters) evaluates to
         ``(0.0, nan)`` without running a forward pass; a finite but
         overflowing forward runs under ``np.errstate`` so the divergence
-        guard's final evaluation cannot leak ``RuntimeWarning``s.
+        guard's final evaluation cannot leak ``RuntimeWarning``s.  Both
+        metrics come from one forward pass over the test set.
         """
         with get_tracer().span("eval"):
             if not np.isfinite(params).all():
                 return 0.0, float("nan")
             with np.errstate(over="ignore", invalid="ignore"):
                 self.model.set_flat_params(params)
-                accuracy = self.model.accuracy(
+                accuracy, loss = self.model.evaluate(
                     self.test_set.x, self.test_set.y
                 )
-                loss = self.model.loss(self.test_set.x, self.test_set.y)
             return accuracy, loss
 
     def new_history(self, algorithm: str, config: dict) -> TrainingHistory:

@@ -113,17 +113,11 @@ class HierAdMo(FLAlgorithm):
     def _worker_iteration(self) -> float:
         """Lines 4–6 for every worker; returns the mean batch loss."""
         with get_tracer().span("worker_step"):
-            fed = self.fed
             grads = self._grads
             rows = self._iteration_rows()
             if rows is not None:
                 return self._masked_worker_iteration(rows)
-            total_loss = 0.0
-            for worker in range(fed.num_workers):
-                _, loss = fed.gradient(
-                    worker, self.x[worker], out=grads[worker]
-                )
-                total_loss += loss
+            mean_loss = self._gradient_iteration(self.x)
             y_new = self.x - self.eta * grads  # line 5, all workers at once
             velocity = y_new - self.y
             self.controller.accumulate_all(grads, self.y, velocity)
@@ -136,7 +130,7 @@ class HierAdMo(FLAlgorithm):
                 )
             self.x = y_new + self.gamma * velocity  # line 6
             self.y = y_new
-            return total_loss / fed.num_workers
+            return mean_loss
 
     def _masked_worker_iteration(self, rows: np.ndarray) -> float:
         """Lines 4–6 restricted to the up workers under a fault plan.
@@ -144,12 +138,8 @@ class HierAdMo(FLAlgorithm):
         Dropped workers take no step: state, sampler and γℓ-accumulator
         all stay frozen until they come back.
         """
-        fed = self.fed
         grads = self._grads
-        total_loss = 0.0
-        for worker in rows:
-            _, loss = fed.gradient(worker, self.x[worker], out=grads[worker])
-            total_loss += loss
+        mean_loss = self._gradient_iteration(self.x, rows)
         g = grads[rows]
         y_prev = self.y[rows]
         y_new = self.x[rows] - self.eta * g
@@ -164,7 +154,7 @@ class HierAdMo(FLAlgorithm):
             )
         self.x[rows] = y_new + self.gamma * velocity
         self.y[rows] = y_new
-        return total_loss / rows.size
+        return mean_loss
 
     def _edge_update(self, t: int) -> dict[int, float]:
         """Lines 8–15 for every edge; returns the γℓ used per edge."""

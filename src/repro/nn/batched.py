@@ -1,0 +1,319 @@
+"""Batched multi-worker gradient engine.
+
+The federated inner loop (Alg. 1 lines 4–6) evaluates one small
+forward/backward pass *per worker* per iteration.  With per-worker
+state already stacked into ``(num_workers, dim)`` matrices, those W
+sequential passes are W tiny GEMMs plus W rounds of Python-level
+bookkeeping — the bookkeeping dominates.  This module lowers a
+:class:`~repro.nn.supervised.SupervisedModel` into a **batched
+program** whose tensors carry a leading worker axis:
+
+* forward is one stacked matmul ``(W, B, in) @ (W, in, out)`` per dense
+  layer, with each worker's ``(out, in)`` weight block sliced
+  **zero-copy** out of the stacked parameter matrix (the columns of a
+  C-contiguous ``(W, dim)`` matrix reshape into per-worker weight views
+  without copying — the same trick :class:`~repro.nn.module.FlatParamBuffer`
+  uses within one model);
+* backward writes every worker's flat gradient into the matching row of
+  the stacked ``(W, dim)`` gradient matrix in place and returns the
+  per-worker batch losses as one ``(W,)`` vector.
+
+Lowering is structural: a flat :class:`~repro.nn.module.Sequential` (or
+bare :class:`~repro.nn.linear.Dense`) of dense layers, elementwise
+activations and no-op dropout, trained with softmax cross-entropy or
+MSE, lowers; anything else (conv/resnet stacks, batch norm, active
+dropout) returns ``None`` and callers keep the per-worker loop.  The
+batched math mirrors the per-worker implementations operation for
+operation — same GEMM shapes per worker slice, same reduction axes —
+so the two backends agree to floating-point roundoff (asserted at
+rtol 1e-10 in the test suite and at rtol 1e-8 over whole golden
+trajectories).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.dropout import Dropout
+from repro.nn.functional import log_softmax, one_hot, softmax
+from repro.nn.linear import Dense
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropyLoss
+from repro.nn.module import Module, Sequential
+
+__all__ = ["BatchedProgram", "lower_supervised_model"]
+
+
+# ----------------------------------------------------------------------
+# Batched layers
+# ----------------------------------------------------------------------
+class _BatchedDense:
+    """Dense layer over a leading worker axis.
+
+    Holds only the layer's *offsets* into the flat parameter vector;
+    :meth:`bind` resolves them against a concrete stacked ``(R, dim)``
+    parameter/gradient matrix pair before each pass.
+    """
+
+    __slots__ = (
+        "in_features",
+        "out_features",
+        "w_start",
+        "w_stop",
+        "b_start",
+        "b_stop",
+        "_w",
+        "_params",
+        "_grads",
+        "_x",
+    )
+
+    def __init__(self, layer: Dense, offsets: dict[int, int]):
+        self.in_features = layer.in_features
+        self.out_features = layer.out_features
+        self.w_start = offsets[id(layer.weight)]
+        self.w_stop = self.w_start + layer.weight.size
+        if layer.use_bias:
+            self.b_start = offsets[id(layer.bias)]
+            self.b_stop = self.b_start + layer.bias.size
+        else:
+            self.b_start = self.b_stop = None
+        self._w = None
+        self._params = None
+        self._grads = None
+        self._x = None
+
+    def bind(self, params: np.ndarray, grads: np.ndarray) -> None:
+        rows = params.shape[0]
+        # Zero-copy per-worker weight views: the column block of a
+        # row-contiguous matrix splits into (R, out, in) without a copy.
+        self._w = params[:, self.w_start : self.w_stop].reshape(
+            rows, self.out_features, self.in_features
+        )
+        self._params = params
+        self._grads = grads
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        # (R, B, in) @ (R, in, out): one stacked GEMM; each worker slice
+        # is the exact ``x @ W.T`` the per-worker Dense computes.
+        out = np.matmul(x, self._w.transpose(0, 2, 1))
+        if self.b_start is not None:
+            out += self._params[:, self.b_start : self.b_stop][:, None, :]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x = self._x
+        rows = grad_output.shape[0]
+        grad_w = np.matmul(grad_output.transpose(0, 2, 1), x)
+        # Write each worker's flat weight gradient into its grad-matrix
+        # row (strided assignment — the grad matrix is filled in place).
+        self._grads[:, self.w_start : self.w_stop] = grad_w.reshape(rows, -1)
+        if self.b_start is not None:
+            self._grads[:, self.b_start : self.b_stop] = grad_output.sum(
+                axis=1
+            )
+        self._x = None
+        return np.matmul(grad_output, self._w)
+
+
+# ----------------------------------------------------------------------
+# Batched losses (per-worker loss vector instead of a scalar)
+# ----------------------------------------------------------------------
+class _BatchedSoftmaxCE:
+    """Softmax cross-entropy over ``(R, B, C)`` logits, ``(R, B)`` labels."""
+
+    __slots__ = ("_probs", "_labels")
+
+    def __init__(self):
+        self._probs = None
+        self._labels = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray):
+        labels = np.asarray(targets, dtype=np.int64)
+        log_probs = log_softmax(predictions, axis=-1)
+        self._probs = softmax(predictions, axis=-1)
+        self._labels = labels
+        picked = np.take_along_axis(log_probs, labels[:, :, None], axis=2)
+        return -picked[:, :, 0].mean(axis=1)
+
+    def backward(self) -> np.ndarray:
+        rows, batch = self._labels.shape
+        grad = self._probs.copy()
+        grad[
+            np.arange(rows)[:, None], np.arange(batch)[None, :], self._labels
+        ] -= 1.0
+        grad /= batch
+        self._probs = None
+        self._labels = None
+        return grad
+
+
+class _BatchedMSE:
+    """MSE over ``(R, B, C)`` predictions; integer labels one-hot encoded."""
+
+    __slots__ = ("_diff",)
+
+    def __init__(self):
+        self._diff = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray):
+        targets = np.asarray(targets)
+        if targets.ndim == 2 and predictions.shape[-1] > 1:
+            rows, batch = targets.shape
+            targets = one_hot(
+                targets.ravel(), predictions.shape[-1]
+            ).reshape(rows, batch, predictions.shape[-1])
+        targets = targets.reshape(predictions.shape).astype(np.float64)
+        self._diff = predictions - targets
+        return np.mean(self._diff**2, axis=(1, 2))
+
+    def backward(self) -> np.ndarray:
+        diff = self._diff
+        grad = 2.0 * diff / (diff.shape[1] * diff.shape[2])
+        self._diff = None
+        return grad
+
+
+# ----------------------------------------------------------------------
+# Program
+# ----------------------------------------------------------------------
+class BatchedProgram:
+    """A lowered model: batched layers plus a batched loss.
+
+    Built once per model by :func:`lower_supervised_model`; executed via
+    :meth:`gradient_all` with fresh parameter/gradient matrices every
+    call (binding is a handful of reshaped views, so per-call cost is
+    negligible).
+    """
+
+    def __init__(self, model, layers, loss):
+        self.model = model
+        self.layers = layers
+        self.loss = loss
+
+    def gradient_all(
+        self,
+        params: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        grads: np.ndarray,
+    ) -> np.ndarray:
+        """One batched forward/backward; returns per-worker losses.
+
+        ``params``/``grads`` are aligned ``(R, dim)`` matrices; ``xs``
+        is the stacked ``(R, B, features)`` input and ``ys`` the stacked
+        ``(R, B)`` targets.  Every gradient row is written in place.
+        Rows whose batch loss is non-finite get an all-NaN gradient,
+        matching the per-worker oracle's divergence short-circuit.
+        """
+        with np.errstate(over="ignore", invalid="ignore"):
+            for layer in self.layers:
+                layer.bind(params, grads)
+            h = xs
+            for layer in self.layers:
+                h = layer.forward(h)
+            losses = self.loss.forward(h, ys)
+            grad = self.loss.backward()
+            for layer in reversed(self.layers):
+                grad = layer.backward(grad)
+            weight_decay = self.model.weight_decay
+            if weight_decay > 0.0:
+                grads += weight_decay * params
+            bad = ~np.isfinite(losses)
+            if bad.any():
+                grads[bad] = np.nan
+        return losses
+
+
+class _Bindable:
+    """Adapter giving stateless elementwise layers a no-op ``bind``."""
+
+    __slots__ = ("_layer",)
+
+    def __init__(self, layer: Module):
+        self._layer = layer
+
+    def bind(self, params: np.ndarray, grads: np.ndarray) -> None:
+        return None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self._layer.forward(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self._layer.backward(grad_output)
+
+
+# Elementwise layers are shape-agnostic: the exact per-worker classes
+# run unchanged on (R, B, features) tensors, so lowering just wraps a
+# fresh instance (identical math, identical numerics).
+_ELEMENTWISE = ("ReLU", "LeakyReLU", "Sigmoid", "Tanh")
+
+
+def _lower_layer(layer: Module, offsets: dict[int, int]):
+    """One layer's batched counterpart, or ``None`` if unsupported."""
+    if isinstance(layer, Dense):
+        return _BatchedDense(layer, offsets)
+    name = type(layer).__name__
+    if name in _ELEMENTWISE:
+        clone = type(layer).__new__(type(layer))
+        Module.__init__(clone)
+        for attr, value in vars(layer).items():
+            if attr.startswith("_") or attr == "training":
+                continue
+            object.__setattr__(clone, attr, value)
+        # Reset per-pass caches the constructors normally initialize.
+        for attr in ("_mask", "_out"):
+            object.__setattr__(clone, attr, None)
+        return _Bindable(clone)
+    if isinstance(layer, Dropout) and layer.p == 0.0:
+        # p=0 dropout is the identity in both modes; lowering it keeps
+        # the two backends consuming identical RNG streams (none).
+        return _Bindable(Dropout(0.0))
+    return None
+
+
+def lower_supervised_model(model) -> BatchedProgram | None:
+    """Lower ``model`` to a :class:`BatchedProgram`, or ``None``.
+
+    A model lowers when its module is a flat :class:`Sequential` (or a
+    bare :class:`Dense`) of supported layers, its loss is softmax
+    cross-entropy or MSE, and the lowered dense layers cover every
+    parameter (so the batched backward fills the whole gradient row).
+    """
+    module = model.module
+    if isinstance(module, Sequential):
+        stack = list(module.layers)
+    elif isinstance(module, Dense):
+        stack = [module]
+    else:
+        return None
+
+    if isinstance(model.loss_fn, SoftmaxCrossEntropyLoss):
+        loss = _BatchedSoftmaxCE()
+    elif isinstance(model.loss_fn, MSELoss):
+        loss = _BatchedMSE()
+    else:
+        return None
+
+    offsets: dict[int, int] = {}
+    cursor = 0
+    for param in module.parameters():
+        offsets[id(param)] = cursor
+        cursor += param.size
+
+    layers = []
+    covered = 0
+    for layer in stack:
+        lowered = _lower_layer(layer, offsets)
+        if lowered is None:
+            return None
+        if isinstance(lowered, _BatchedDense):
+            covered += lowered.w_stop - lowered.w_start
+            if lowered.b_start is not None:
+                covered += lowered.b_stop - lowered.b_start
+        layers.append(lowered)
+    if covered != cursor:
+        # Some parameter lives outside the lowered dense layers; the
+        # batched backward would leave its gradient stale.
+        return None
+    return BatchedProgram(model, layers, loss)

@@ -49,6 +49,9 @@ class Conv2d(Module):
 
         self._cols: np.ndarray | None = None
         self._x_shape: tuple | None = None
+        # im2col scratch, reused across forwards with the same input
+        # shape (the training case: fixed batch size, fixed geometry).
+        self._scratch: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
@@ -61,11 +64,18 @@ class Conv2d(Module):
         out_h = conv_output_size(h, k, s, p)
         out_w = conv_output_size(w, k, s, p)
 
-        cols = im2col(x, k, k, s, p)
+        scratch_shape = (n * out_h * out_w, self.in_channels * k * k)
+        if (
+            self._scratch is None
+            or self._scratch.shape != scratch_shape
+            or self._scratch.dtype != x.dtype
+        ):
+            self._scratch = np.empty(scratch_shape, dtype=x.dtype)
+        cols = im2col(x, k, k, s, p, out=self._scratch)
         weight_mat = self.weight.data.reshape(self.out_channels, -1)
         out = cols @ weight_mat.T
         if self.use_bias:
-            out = out + self.bias.data
+            out += self.bias.data
 
         self._cols = cols
         self._x_shape = x.shape

@@ -31,12 +31,20 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Rearrange (N, C, H, W) input into patch rows.
 
     Returns an array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``
-    where each row is one receptive field.
+    where each row is one receptive field.  ``out``, when given, must be
+    a C-contiguous array of exactly that shape and receives the patch
+    rows in place (layers pass a cached scratch buffer so repeated
+    same-shape forwards allocate nothing).
     """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
@@ -49,16 +57,26 @@ def im2col(
             mode="constant",
         )
 
-    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
+    shape = (n * out_h * out_w, c * kernel_h * kernel_w)
+    if out is None:
+        out = np.empty(shape, dtype=x.dtype)
+    elif out.shape != shape:
+        raise ValueError(
+            f"im2col out buffer has shape {out.shape}, needs {shape}"
+        )
+    # Write straight into the final (n, oh, ow, c, kh, kw) patch-row
+    # layout: no intermediate (n, c, kh, kw, oh, ow) tensor and no
+    # transpose copy on the way out.
+    cols = out.reshape(n, out_h, out_w, c, kernel_h, kernel_w)
     for i in range(kernel_h):
         i_end = i + stride * out_h
         for j in range(kernel_w):
             j_end = j + stride * out_w
-            cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
+            cols[:, :, :, :, i, j] = x[
+                :, :, i:i_end:stride, j:j_end:stride
+            ].transpose(0, 2, 3, 1)
 
-    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(
-        n * out_h * out_w, c * kernel_h * kernel_w
-    )
+    return out
 
 
 def col2im(

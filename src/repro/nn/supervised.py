@@ -146,7 +146,22 @@ class SupervisedModel:
 
     def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
         """Top-1 accuracy (argmax over the output dimension)."""
+        return self._accuracy_of(self.predict(x), y)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+        """``(accuracy, loss)`` on ``(x, y)`` from one forward pass.
+
+        Equivalent to calling :meth:`accuracy` and :meth:`loss`, but the
+        test set is traversed once instead of twice.
+        """
         predictions = self.predict(x)
+        return (
+            self._accuracy_of(predictions, y),
+            self.loss_fn.forward(predictions, y),
+        )
+
+    @staticmethod
+    def _accuracy_of(predictions: np.ndarray, y: np.ndarray) -> float:
         if predictions.ndim != 2:
             raise ValueError(
                 f"accuracy needs (N, classes) outputs, got {predictions.shape}"

@@ -1,0 +1,265 @@
+"""Federation-level behavior of the batched gradient backend.
+
+Covers backend selection (auto / loop / batched), transparent fallback
+for models or federations the engine cannot lower, loop-vs-batched
+equivalence through the *sampler* path (identical mini-batch streams),
+the vectorized edge aggregation, and the single-pass evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import Federation
+from repro.data import Dataset
+from repro.nn.models import make_cnn, make_logistic_regression, make_mlp
+
+pytestmark = pytest.mark.batched
+
+
+def _tabular_federation(
+    counts=((24, 40), (32,)),
+    features=6,
+    classes=3,
+    seed=0,
+    batch_size=8,
+    backend="auto",
+    model=None,
+):
+    rng = np.random.default_rng(seed)
+    edges = []
+    for edge_counts in counts:
+        edges.append(
+            [
+                Dataset(
+                    rng.normal(size=(n, features)),
+                    rng.integers(0, classes, n),
+                    classes,
+                )
+                for n in edge_counts
+            ]
+        )
+    test = Dataset(
+        rng.normal(size=(16, features)), rng.integers(0, classes, 16), classes
+    )
+    if model is None:
+        model = make_logistic_regression(features, classes, rng=1)
+    return Federation(
+        model, edges, test, batch_size=batch_size, seed=seed, backend=backend
+    )
+
+
+def _image_federation(backend="auto"):
+    rng = np.random.default_rng(3)
+    edges = [
+        [
+            Dataset(
+                rng.normal(size=(12, 1, 8, 8)), rng.integers(0, 4, 12), 4
+            )
+            for _ in range(2)
+        ]
+    ]
+    test = Dataset(rng.normal(size=(8, 1, 8, 8)), rng.integers(0, 4, 8), 4)
+    return Federation(
+        make_cnn(1, 8, 4, rng=5),
+        edges,
+        test,
+        batch_size=6,
+        seed=7,
+        backend=backend,
+    )
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_auto_picks_batched_for_dense_model(self):
+        assert _tabular_federation().gradient_backend == "batched"
+
+    def test_loop_backend_forced(self):
+        fed = _tabular_federation(backend="loop")
+        assert fed.gradient_backend == "loop"
+
+    def test_auto_falls_back_for_conv_model(self):
+        assert _image_federation().gradient_backend == "loop"
+
+    def test_batched_backend_rejects_conv_model(self):
+        with pytest.raises(ValueError, match="batched"):
+            _image_federation(backend="batched")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            _tabular_federation(backend="turbo")
+
+    def test_heterogeneous_batch_sizes_fall_back(self):
+        # One worker has fewer samples than batch_size, so its sampler
+        # clamps: batch shapes differ across workers and cannot stack.
+        fed = _tabular_federation(counts=((6, 40), (32,)), batch_size=16)
+        assert fed.gradient_backend == "loop"
+
+
+# ----------------------------------------------------------------------
+# Equivalence through the sampler path
+# ----------------------------------------------------------------------
+class TestSamplerPathEquivalence:
+    def _both(self, **kwargs):
+        return (
+            _tabular_federation(backend="batched", **kwargs),
+            _tabular_federation(backend="loop", **kwargs),
+        )
+
+    def test_gradient_all_matches_loop_stream(self):
+        """Same seeds => same mini-batch stream => same grads/losses."""
+        batched, loop = self._both()
+        params = np.random.default_rng(9).normal(
+            size=(batched.num_workers, batched.dim)
+        )
+        for _ in range(3):  # several draws: streams stay in lockstep
+            got = np.empty_like(params)
+            want = np.empty_like(params)
+            got_losses = batched.gradient_all(params, out=got)
+            want_losses = loop.gradient_all(params, out=want)
+            np.testing.assert_allclose(
+                got_losses, want_losses, rtol=1e-10, atol=1e-14
+            )
+            np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-14)
+
+    def test_gradient_all_row_subset(self):
+        """Fault-masked rows: only selected rows written, rest intact."""
+        batched, loop = self._both()
+        params = np.random.default_rng(10).normal(
+            size=(batched.num_workers, batched.dim)
+        )
+        rows = np.array([0, 2])
+        got = np.full_like(params, -1.0)
+        want = np.full_like(params, -1.0)
+        got_losses = batched.gradient_all(params, rows=rows, out=got)
+        want_losses = loop.gradient_all(params, rows=rows, out=want)
+        assert got_losses.shape == (rows.size,)
+        np.testing.assert_allclose(
+            got_losses, want_losses, rtol=1e-10, atol=1e-14
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-14)
+        np.testing.assert_array_equal(got[1], -1.0)  # untouched row
+
+    def test_nonfinite_params_fall_back_to_loop_semantics(self):
+        batched, loop = self._both()
+        params = np.random.default_rng(11).normal(
+            size=(batched.num_workers, batched.dim)
+        )
+        params[1] = np.nan
+        got = np.empty_like(params)
+        want = np.empty_like(params)
+        got_losses = batched.gradient_all(params, out=got)
+        want_losses = loop.gradient_all(params, out=want)
+        assert np.isnan(got_losses[1]) and np.isnan(want_losses[1])
+        assert np.isnan(got[1]).all()
+        finite = [0, 2]
+        np.testing.assert_allclose(
+            got_losses[finite], want_losses[finite], rtol=1e-10, atol=1e-14
+        )
+        np.testing.assert_allclose(
+            got[finite], want[finite], rtol=1e-10, atol=1e-14
+        )
+
+    def test_backend_counter_emitted(self):
+        batched, loop = self._both()
+        params = np.zeros((batched.num_workers, batched.dim))
+        out = np.empty_like(params)
+        with telemetry.tracing() as tracer:
+            batched.gradient_all(params, out=out)
+        assert tracer.counters.get("worker_step.backend.batched") == 1
+        with telemetry.tracing() as tracer:
+            loop.gradient_all(params, out=out)
+        assert tracer.counters.get("worker_step.backend.loop") == 1
+
+
+# ----------------------------------------------------------------------
+# Vectorized aggregation and evaluation
+# ----------------------------------------------------------------------
+class TestAggregationAndEval:
+    def test_edge_average_all_matches_per_edge(self):
+        fed = _tabular_federation()
+        vectors = np.random.default_rng(13).normal(
+            size=(fed.num_workers, fed.dim)
+        )
+        stacked = fed.edge_average_all(vectors)
+        for edge in range(fed.num_edges):
+            np.testing.assert_allclose(
+                stacked[edge], fed.edge_average(edge, vectors), rtol=1e-12
+            )
+
+    def test_edge_average_all_writes_into_out(self):
+        fed = _tabular_federation()
+        vectors = np.random.default_rng(14).normal(
+            size=(fed.num_workers, fed.dim)
+        )
+        out = np.empty((fed.num_edges, fed.dim))
+        result = fed.edge_average_all(vectors, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, fed.edge_average_all(vectors))
+
+    def test_evaluate_matches_two_pass_reference(self):
+        fed = _tabular_federation()
+        params = fed.initial_params()
+        accuracy, loss = fed.evaluate(params)
+        fed.model.set_flat_params(params)
+        predictions = fed.model.predict(fed.test_set.x)
+        want_accuracy = float(
+            np.mean(predictions.argmax(axis=1) == fed.test_set.y)
+        )
+        want_loss = float(
+            fed.model.loss_fn.forward(predictions, fed.test_set.y)
+        )
+        assert accuracy == pytest.approx(want_accuracy)
+        assert loss == pytest.approx(want_loss)
+
+
+# ----------------------------------------------------------------------
+# Relaxed perf smoke gate (authoritative 3x bound: bench_batched.py)
+# ----------------------------------------------------------------------
+def _time_min(fn, repeats=5, iters=8):
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best / iters
+
+
+def test_batched_not_slower_than_loop():
+    """CI-safe gate: the batched engine must never lose to the loop.
+
+    The authoritative ≥3x speedup bound lives in
+    ``benchmarks/bench_batched.py``; here we only assert the batched
+    pass is no slower (with headroom for timer noise) so a regression
+    that de-vectorizes the hot path fails tier-1.
+    """
+    counts = tuple((48,) * 4 for _ in range(4))  # 16 workers
+    model = make_mlp(20, (32,), 5, rng=2)
+    batched = _tabular_federation(
+        counts=counts, features=20, classes=5, model=model, backend="batched"
+    )
+    model_loop = make_mlp(20, (32,), 5, rng=2)
+    loop = _tabular_federation(
+        counts=counts, features=20, classes=5, model=model_loop,
+        backend="loop",
+    )
+    params = np.random.default_rng(6).normal(size=(16, batched.dim))
+    out = np.empty_like(params)
+
+    batched_time = _time_min(
+        lambda: batched.gradient_all(params, out=out)
+    )
+    loop_time = _time_min(lambda: loop.gradient_all(params, out=out))
+    assert batched_time <= loop_time * 1.10, (
+        f"batched gradient pass slower than loop: "
+        f"{batched_time * 1e6:.1f}us vs {loop_time * 1e6:.1f}us"
+    )

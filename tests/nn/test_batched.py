@@ -1,0 +1,212 @@
+"""Batched-vs-loop oracle equivalence for the batched gradient engine.
+
+The batched program must be a pure performance change: for every
+lowerable model it has to produce the same per-worker gradients and
+batch losses the sequential per-worker oracle produces, to floating
+point roundoff (rtol 1e-10 here — far tighter than the rtol 1e-8 the
+golden trajectories enforce end to end).  Models that cannot lower
+must be detected so the federation keeps the loop backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm1d,
+    Dense,
+    Dropout,
+    Loss,
+    MSELoss,
+    ReLU,
+    Sequential,
+    SupervisedModel,
+)
+from repro.nn.batched import BatchedProgram, lower_supervised_model
+from repro.nn.models import (
+    make_cnn,
+    make_linear_regression,
+    make_logistic_regression,
+    make_mlp,
+)
+
+pytestmark = pytest.mark.batched
+
+NUM_WORKERS = 5
+BATCH = 12
+FEATURES = 9
+CLASSES = 4
+
+
+def _model_zoo():
+    """(name, SupervisedModel, weight_decay) cases covering the matrix."""
+    return [
+        ("logistic", make_logistic_regression(FEATURES, CLASSES, rng=0), 0.0),
+        (
+            "linear_mse",
+            make_linear_regression(FEATURES, CLASSES, rng=1),
+            0.0,
+        ),
+        ("mlp_relu", make_mlp(FEATURES, (8,), CLASSES, rng=2), 0.0),
+        (
+            "mlp_tanh",
+            make_mlp(FEATURES, (7, 6), CLASSES, activation="tanh", rng=3),
+            0.0,
+        ),
+        ("mlp_decay", make_mlp(FEATURES, (8,), CLASSES, rng=4), 0.05),
+        (
+            "mlp_mse",
+            SupervisedModel(
+                Sequential(
+                    Dense(FEATURES, 8, rng=5), ReLU(), Dense(8, CLASSES, rng=6)
+                ),
+                MSELoss(),
+            ),
+            0.0,
+        ),
+        (
+            "linear_decay_mse",
+            SupervisedModel(
+                Dense(FEATURES, CLASSES, rng=7),
+                MSELoss(),
+                weight_decay=0.01,
+            ),
+            None,  # weight decay set in the constructor above
+        ),
+    ]
+
+
+def _stacked_inputs(rng):
+    xs = rng.normal(size=(NUM_WORKERS, BATCH, FEATURES))
+    ys = rng.integers(0, CLASSES, size=(NUM_WORKERS, BATCH))
+    return xs, ys
+
+
+def _loop_reference(model, params, xs, ys):
+    """Per-worker oracle results stacked: the ground truth."""
+    grads = np.empty_like(params)
+    losses = np.empty(params.shape[0])
+    for worker in range(params.shape[0]):
+        _, losses[worker] = model.gradient(
+            xs[worker], ys[worker], params[worker], out=grads[worker]
+        )
+    return grads, losses
+
+
+@pytest.mark.parametrize(
+    "case", _model_zoo(), ids=lambda case: case[0]
+)
+def test_batched_matches_loop_oracle(case):
+    """Gradients and losses agree at rtol 1e-10 across the model zoo."""
+    _, model, weight_decay = case
+    if weight_decay is not None:
+        model.weight_decay = weight_decay
+    program = lower_supervised_model(model)
+    assert isinstance(program, BatchedProgram)
+
+    rng = np.random.default_rng(11)
+    xs, ys = _stacked_inputs(rng)
+    params = rng.normal(
+        size=(NUM_WORKERS, model.num_params), scale=0.7
+    )
+
+    grads = np.empty_like(params)
+    losses = program.gradient_all(params, xs, ys, grads)
+    ref_grads, ref_losses = _loop_reference(model, params, xs, ys)
+
+    np.testing.assert_allclose(losses, ref_losses, rtol=1e-10, atol=1e-14)
+    np.testing.assert_allclose(grads, ref_grads, rtol=1e-10, atol=1e-14)
+
+
+def test_batched_row_subset_matches_loop():
+    """A fault-masked row subset agrees row for row with the loop."""
+    model = make_mlp(FEATURES, (8,), CLASSES, rng=9)
+    program = lower_supervised_model(model)
+    rng = np.random.default_rng(21)
+    xs, ys = _stacked_inputs(rng)
+    params = rng.normal(size=(NUM_WORKERS, model.num_params))
+    rows = np.array([0, 2, 4])
+
+    grads = np.empty((rows.size, model.num_params))
+    losses = program.gradient_all(params[rows], xs[rows], ys[rows], grads)
+    ref_grads, ref_losses = _loop_reference(
+        model, params[rows], xs[rows], ys[rows]
+    )
+    np.testing.assert_allclose(losses, ref_losses, rtol=1e-10, atol=1e-14)
+    np.testing.assert_allclose(grads, ref_grads, rtol=1e-10, atol=1e-14)
+
+
+def test_batched_nan_loss_rows_get_nan_gradients():
+    """A row whose batch loss overflows mirrors the loop's NaN grad."""
+    model = make_logistic_regression(FEATURES, CLASSES, rng=3)
+    model.loss_fn = MSELoss()  # unbounded loss so huge params overflow
+    program = lower_supervised_model(model)
+    rng = np.random.default_rng(33)
+    xs, ys = _stacked_inputs(rng)
+    params = rng.normal(size=(NUM_WORKERS, model.num_params))
+    params[1] = 1e200  # finite but loss overflows to inf
+
+    grads = np.empty_like(params)
+    losses = program.gradient_all(params, xs, ys, grads)
+    assert not np.isfinite(losses[1])
+    assert np.isnan(grads[1]).all()
+    finite = [0, 2, 3, 4]
+    ref_grads, ref_losses = _loop_reference(
+        model, params[finite], xs[finite], ys[finite]
+    )
+    np.testing.assert_allclose(
+        losses[finite], ref_losses, rtol=1e-10, atol=1e-14
+    )
+    np.testing.assert_allclose(
+        grads[finite], ref_grads, rtol=1e-10, atol=1e-14
+    )
+
+
+# ----------------------------------------------------------------------
+# Lowering rules
+# ----------------------------------------------------------------------
+def test_conv_model_does_not_lower():
+    assert lower_supervised_model(make_cnn(1, 8, 5, rng=0)) is None
+
+
+def test_batchnorm_model_does_not_lower():
+    model = SupervisedModel(
+        Sequential(Dense(4, 4, rng=0), BatchNorm1d(4), Dense(4, 2, rng=1))
+    )
+    assert lower_supervised_model(model) is None
+
+
+def test_active_dropout_does_not_lower():
+    model = SupervisedModel(
+        Sequential(Dense(4, 4, rng=0), Dropout(0.3), Dense(4, 2, rng=1))
+    )
+    assert lower_supervised_model(model) is None
+
+
+def test_identity_dropout_lowers():
+    model = SupervisedModel(
+        Sequential(Dense(4, 4, rng=0), Dropout(0.0), Dense(4, 2, rng=1))
+    )
+    assert lower_supervised_model(model) is not None
+
+
+def test_custom_loss_does_not_lower():
+    class WeirdLoss(Loss):
+        pass
+
+    model = SupervisedModel(Dense(4, 2, rng=0), WeirdLoss())
+    assert lower_supervised_model(model) is None
+
+
+def test_lowering_leaves_model_state_untouched():
+    """The program never touches the model's own parameter buffers."""
+    model = make_mlp(FEATURES, (8,), CLASSES, rng=13)
+    before = model.get_flat_params()
+    program = lower_supervised_model(model)
+    rng = np.random.default_rng(44)
+    xs, ys = _stacked_inputs(rng)
+    params = rng.normal(size=(NUM_WORKERS, model.num_params))
+    grads = np.empty_like(params)
+    program.gradient_all(params, xs, ys, grads)
+    np.testing.assert_array_equal(model.get_flat_params(), before)
