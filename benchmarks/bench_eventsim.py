@@ -5,10 +5,27 @@ Quantifies two deployment questions the coarse timeline cannot answer:
 * how much wall-clock the barrier process actually costs vs the
   per-iteration-max approximation, and
 * how much a straggler-tolerant edge quorum buys under heavy-tail
-  worker delays.
+  worker delays,
+
+plus two gates on the execution engine itself, recorded to
+``BENCH_eventsim.json``:
+
+* event-processing throughput of a full async training run, and
+* async-vs-sync simulated time-to-accuracy under stragglers — the
+  whole point of quorum-based closure is that partial rounds reach the
+  same accuracy in far less simulated wall-clock time.
 """
 
+import time
+
+import numpy as np
+
+from repro.algorithms import AsyncHierAdMo
+from repro.core import Federation
+from repro.data import Dataset
+from repro.nn.models import make_mlp
 from repro.simulation import (
+    AsyncDeployment,
     ThreeTierTimeline,
     add_stragglers,
     worker_device_pool,
@@ -17,8 +34,32 @@ from repro.simulation.events import EventDrivenSimulator
 from repro.topology import Topology
 
 from .conftest import run_once
+from .recorder import record_bench
 
 PAYLOAD = 8e5  # ~100k float64 parameters
+
+# Engine-gate run shape: long enough for accuracy to climb well above
+# the initial eval, short enough to keep the bench under a second.
+TRAIN_ITERATIONS = 60
+MIN_EVENTS_PER_SEC = 200.0
+
+
+def _make_federation(num_edges=2, per_edge=4, seed=7):
+    rng = np.random.default_rng(seed)
+    edges = [
+        [
+            Dataset(rng.normal(size=(64, 20)), rng.integers(0, 5, 64), 5)
+            for _ in range(per_edge)
+        ]
+        for _ in range(num_edges)
+    ]
+    model = make_mlp(20, (16,), 5, rng=seed + 1)
+    return Federation(model, edges, edges[0][0], batch_size=8, seed=seed)
+
+
+def _straggler_deployment(quorum, num_workers=8):
+    devices = add_stragglers(worker_device_pool(num_workers), 0.25, 10.0)
+    return AsyncDeployment(devices, payload_bytes=PAYLOAD, quorum=quorum)
 
 
 def test_event_vs_coarse_timeline(benchmark):
@@ -66,3 +107,83 @@ def test_quorum_under_stragglers(benchmark):
         print(f"{quorum:6.2f} {total:10.1f}s   {late}")
     assert results[0.5][0] < results[1.0][0]
     assert results[0.75][0] < results[1.0][0]
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Events/sec through a full async HierAdMo training run."""
+
+    def evaluate():
+        algorithm = AsyncHierAdMo(
+            _make_federation(),
+            tau=5,
+            pi=2,
+            deployment=_straggler_deployment(0.5),
+        )
+        start = time.perf_counter()
+        algorithm.run(TRAIN_ITERATIONS, eval_every=TRAIN_ITERATIONS)
+        elapsed = time.perf_counter() - start
+        return algorithm.runner.queue.processed, elapsed
+
+    processed, elapsed = run_once(benchmark, evaluate)
+    rate = processed / elapsed
+    print(f"\nevents processed: {processed}")
+    print(f"throughput:       {rate:10.0f} events/s")
+    record_bench(
+        "eventsim",
+        "engine_event_throughput",
+        {
+            "events_processed": int(processed),
+            "events_per_second": round(rate, 1),
+            "train_iterations": TRAIN_ITERATIONS,
+            "quorum": 0.5,
+        },
+    )
+    assert rate > MIN_EVENTS_PER_SEC
+
+
+def test_bench_async_vs_sync_time_to_accuracy(benchmark):
+    """Acceptance gate: under stragglers, quorum-based async HierAdMo
+    reaches the common target accuracy in less *simulated* wall-clock
+    time than the full-barrier (quorum=1) run."""
+
+    def evaluate():
+        histories = {}
+        for label, quorum in (("sync", 1.0), ("async", 0.5)):
+            algorithm = AsyncHierAdMo(
+                _make_federation(),
+                tau=5,
+                pi=2,
+                deployment=_straggler_deployment(quorum),
+            )
+            histories[label] = algorithm.run(
+                TRAIN_ITERATIONS, eval_every=10
+            )
+        return histories
+
+    histories = run_once(benchmark, evaluate)
+    target = min(h.final_accuracy for h in histories.values())
+    # The target must require actual training, otherwise both arms hit
+    # it at the t=0 eval and the comparison is vacuous.
+    assert all(target > h.test_accuracy[0] for h in histories.values())
+    times = {
+        label: history.time_to_accuracy(target)
+        for label, history in histories.items()
+    }
+    print(f"\ntarget accuracy:  {target:.4f}")
+    for label, reached in times.items():
+        print(f"{label:5s} time-to-accuracy: {reached:10.1f}s simulated")
+    record_bench(
+        "eventsim",
+        "async_vs_sync_time_to_accuracy",
+        {
+            "target_accuracy": round(target, 6),
+            "sync_seconds": round(times["sync"], 2),
+            "async_seconds": round(times["async"], 2),
+            "speedup": round(times["sync"] / times["async"], 2),
+            "train_iterations": TRAIN_ITERATIONS,
+            "async_quorum": 0.5,
+            "straggler_probability": 0.25,
+            "straggler_factor": 10.0,
+        },
+    )
+    assert times["async"] < times["sync"]

@@ -6,6 +6,11 @@ string.  HierAdMo / HierAdMo-R live in :mod:`repro.core` but are included
 in the registry for convenience.
 """
 
+from repro.algorithms.asynchronous import (
+    AsyncExecutionMixin,
+    AsyncFedAvg,
+    AsyncHierAdMo,
+)
 from repro.algorithms.compressed import QuantizedHierFAVG
 from repro.algorithms.fedprox import FedProx
 from repro.algorithms.hierarchical import CFL, HierFAVG
@@ -36,6 +41,14 @@ ALGORITHM_REGISTRY = {
     "FedAvg": FedAvg,
 }
 
+# Event-driven variants live in their own registry: they take a
+# deployment (devices, links, quorum) on top of the usual federation,
+# so the lockstep experiment runners cannot construct them blindly.
+ASYNC_ALGORITHM_REGISTRY = {
+    "AsyncHierAdMo": AsyncHierAdMo,
+    "AsyncFedAvg": AsyncFedAvg,
+}
+
 THREE_TIER_ALGORITHMS = ("HierAdMo", "HierAdMo-R", "HierFAVG", "CFL")
 TWO_TIER_ALGORITHMS = (
     "FastSlowMo",
@@ -49,6 +62,7 @@ TWO_TIER_ALGORITHMS = (
 
 __all__ = [
     "ALGORITHM_REGISTRY",
+    "ASYNC_ALGORITHM_REGISTRY",
     "THREE_TIER_ALGORITHMS",
     "TWO_TIER_ALGORITHMS",
     "TwoTierAlgorithm",
@@ -66,4 +80,7 @@ __all__ = [
     "QuantizedHierFAVG",
     "SampledFedAvg",
     "FedProx",
+    "AsyncExecutionMixin",
+    "AsyncHierAdMo",
+    "AsyncFedAvg",
 ]

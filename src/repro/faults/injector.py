@@ -216,6 +216,33 @@ class FaultInjector:
         )
 
     # ------------------------------------------------------------------
+    # Staleness (per-upload fates for the event-driven engine)
+    # ------------------------------------------------------------------
+    def stale_flags(self, count: int) -> np.ndarray | None:
+        """Which of ``count`` uploads deliver a *stale* payload.
+
+        The event-driven engine keeps per-node message buffers, so a
+        stale message is demoted at the receiver (buffered and folded
+        into the next round with a decayed weight) rather than
+        substituted from a ring buffer as :meth:`stale_substitute` does
+        for the lockstep replay.  Fates come from the same monotone
+        message stream as :meth:`transfer_outcome`, so a replay of the
+        plan realizes the identical sequence.  Returns ``None`` when no
+        upload is stale (the common fast path), else a boolean array
+        with ``True`` = stale.
+        """
+        plan = self.plan
+        if not self.active or count <= 0 or plan.msg_staleness <= 0.0:
+            return None
+        self._msg_sequence += 1
+        rng = make_rng(child_seed(plan.seed, "msg", self._msg_sequence))
+        flags = rng.random(count) < plan.msg_staleness
+        if not flags.any():
+            return None
+        self._count("fault.msg_stale", int(flags.sum()))
+        return flags
+
+    # ------------------------------------------------------------------
     # Staleness (edge -> cloud uploads)
     # ------------------------------------------------------------------
     def stale_substitute(

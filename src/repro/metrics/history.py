@@ -29,6 +29,11 @@ class TrainingHistory:
     test_loss: list[float] = field(default_factory=list)
     train_loss: list[float] = field(default_factory=list)
 
+    # Simulated wall-clock time of each evaluation point, filled only by
+    # the event-driven runs (lockstep runs price time post hoc instead);
+    # empty list = no time axis.  Aligned with ``iterations``.
+    eval_times: list[float] = field(default_factory=list)
+
     # γℓ trace: one dict per edge aggregation {edge -> γℓ used}.
     gamma_trace: list[dict[int, float]] = field(default_factory=list)
 
@@ -114,6 +119,23 @@ class TrainingHistory:
         for iteration, accuracy in zip(self.iterations, self.test_accuracy):
             if accuracy >= target:
                 return iteration
+        return None
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """Simulated wall-clock time at which accuracy reached ``target``.
+
+        Requires ``eval_times`` (event-driven runs record it; lockstep
+        runs leave it empty).  Returns ``None`` if the run never got
+        there — the emergent Fig. 2 h/l comparison.
+        """
+        if len(self.eval_times) != len(self.iterations):
+            raise ValueError(
+                "history has no simulated time axis (eval_times not "
+                "recorded by this run)"
+            )
+        for time, accuracy in zip(self.eval_times, self.test_accuracy):
+            if accuracy >= target:
+                return time
         return None
 
     def accuracy_curve(self) -> tuple[np.ndarray, np.ndarray]:

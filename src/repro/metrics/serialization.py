@@ -29,6 +29,7 @@ def history_to_dict(history: TrainingHistory) -> dict:
         "test_accuracy": list(history.test_accuracy),
         "test_loss": list(history.test_loss),
         "train_loss": list(history.train_loss),
+        "eval_times": list(history.eval_times),
         "gamma_trace": [
             {str(k): v for k, v in record.items()}
             for record in history.gamma_trace
@@ -53,6 +54,7 @@ def history_from_dict(payload: dict) -> TrainingHistory:
     history.test_accuracy = [float(a) for a in payload["test_accuracy"]]
     history.test_loss = [float(v) for v in payload["test_loss"]]
     history.train_loss = [float(v) for v in payload["train_loss"]]
+    history.eval_times = [float(v) for v in payload.get("eval_times", [])]
     history.gamma_trace = [
         {int(k): float(v) for k, v in record.items()}
         for record in payload.get("gamma_trace", [])

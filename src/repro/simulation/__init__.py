@@ -5,6 +5,12 @@ from repro.simulation.devices import (
     DeviceProfile,
     worker_device_pool,
 )
+from repro.simulation.engine import (
+    AsyncDeployment,
+    Event,
+    EventLoopRunner,
+    EventQueue,
+)
 from repro.simulation.events import (
     CloudRoundRecord,
     EdgeRoundRecord,
@@ -44,6 +50,10 @@ __all__ = [
     "EventSimulation",
     "EdgeRoundRecord",
     "CloudRoundRecord",
+    "Event",
+    "EventQueue",
+    "AsyncDeployment",
+    "EventLoopRunner",
     "EnergyModel",
     "CampaignEnergy",
     "estimate_three_tier_energy",

@@ -32,9 +32,9 @@ from repro.simulation.devices import DEVICE_PRESETS
 from repro.topology import Topology
 from repro.utils.rng import make_rng
 from repro.utils.validation import (
-    check_in_range,
     check_positive,
     check_positive_int,
+    check_quorum,
 )
 
 __all__ = ["EdgeRoundRecord", "CloudRoundRecord", "EventSimulation",
@@ -51,6 +51,10 @@ class EdgeRoundRecord:
     finish_time: float
     workers_included: tuple[int, ...]
     workers_late: tuple[int, ...]
+    # Workers whose *buffered stale* uploads were folded into this round
+    # with a decayed weight (event-driven engine only; the post-hoc
+    # simulator discards late uploads instead of buffering them).
+    workers_stale: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -60,6 +64,14 @@ class CloudRoundRecord:
     round_index: int
     start_time: float
     finish_time: float
+    # Edges whose state entered the cloud average (all of them under the
+    # full-barrier cloud sync; recorded so degraded variants can differ).
+    edges_included: tuple[int, ...] = ()
+    # Workers whose uploads missed their edge quorum at some point since
+    # the previous cloud sync: the contribution the cloud round built on
+    # was computed without them (stale/discarded work the ledger and the
+    # async algorithms must still account for).
+    stale_uploads: tuple[int, ...] = ()
 
 
 @dataclass
@@ -82,14 +94,22 @@ class EventSimulation:
         return max(last_edge, last_cloud)
 
     def time_at_iteration(self, t: int) -> float:
-        """Global time when iteration ``t`` was complete everywhere."""
+        """Global time when iteration ``t`` was complete everywhere.
+
+        ``t`` is the paper's 1-indexed iteration count, matching the
+        ``iteration_done`` convention above ("1-indexed entry t-1") and
+        the replay timelines' ``times[t]`` axis: ``t=0`` is the start of
+        the run (time 0.0) and ``t=T`` the final iteration.
+        """
         if self.iteration_times is None:
             raise ValueError("simulation did not record iteration times")
-        if not 0 <= t < self.iteration_times.size:
+        if not 0 <= t <= self.iteration_times.size:
             raise ValueError(
-                f"iteration {t} outside [0, {self.iteration_times.size})"
+                f"iteration {t} outside [0, {self.iteration_times.size}]"
             )
-        return float(self.iteration_times[t])
+        if t == 0:
+            return 0.0
+        return float(self.iteration_times[t - 1])
 
 
 class EventDrivenSimulator:
@@ -119,10 +139,7 @@ class EventDrivenSimulator:
         self.cloud_device = cloud_device or DEVICE_PRESETS["gpu_tower_2080ti"]
         self.lan = lan or LINK_PRESETS["wifi_5ghz"]
         self.wan = wan or LINK_PRESETS["wan_internet"]
-        self.quorum = check_in_range(quorum, "quorum", 0.0, 1.0,
-                                     inclusive=True)
-        if self.quorum <= 0.0:
-            raise ValueError("quorum must be > 0 (someone must upload)")
+        self.quorum = check_quorum(quorum)
 
     # ------------------------------------------------------------------
     def simulate(
@@ -146,6 +163,11 @@ class EventDrivenSimulator:
         # Edge clocks advance at aggregation events.
         edge_round = 0
         completed = 0
+        # Uploads that missed their edge quorum since the last cloud
+        # sync: the cloud round then aggregates edge states computed
+        # without them, so the discarded work is recorded on the
+        # CloudRoundRecord instead of silently vanishing.
+        late_since_cloud: set[int] = set()
 
         while completed < total_iterations:
             interval = min(tau, total_iterations - completed)
@@ -186,6 +208,7 @@ class EventDrivenSimulator:
                 }
                 for index in indices:
                     worker_clock[index] = download_done[index]
+                late_since_cloud.update(late)
                 edge_finish[edge] = finish
                 result.edge_rounds.append(
                     EdgeRoundRecord(
@@ -212,8 +235,11 @@ class EventDrivenSimulator:
                         round_index=edge_round // pi,
                         start_time=float(start),
                         finish_time=float(finish),
+                        edges_included=tuple(range(topo.num_edges)),
+                        stale_uploads=tuple(sorted(late_since_cloud)),
                     )
                 )
+                late_since_cloud.clear()
                 for worker in range(topo.num_workers):
                     worker_clock[worker] = max(
                         worker_clock[worker],

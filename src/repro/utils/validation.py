@@ -14,6 +14,7 @@ __all__ = [
     "check_probability",
     "check_fraction",
     "check_in_range",
+    "check_quorum",
 ]
 
 
@@ -46,6 +47,20 @@ def check_fraction(value: float, name: str) -> float:
     """
     if not isinstance(value, numbers.Real) or not 0.0 <= value < 1.0:
         raise ValueError(f"{name} must be in [0, 1), got {value!r}")
+    return float(value)
+
+
+def check_quorum(value: float, name: str = "quorum") -> float:
+    """Validate an aggregation quorum fraction: ``0 < value <= 1``.
+
+    The lower bound is exclusive — a zero quorum would aggregate
+    without waiting for any upload, which no tier supports.
+    """
+    if not isinstance(value, numbers.Real) or not 0.0 < value <= 1.0:
+        raise ValueError(
+            f"{name} must be in (0, 1] — at least one upload must be "
+            f"awaited — got {value!r}"
+        )
     return float(value)
 
 

@@ -49,10 +49,22 @@ class TestStructure:
         assert len(result.edge_rounds) == 3 * 2
 
     def test_time_at_iteration(self):
+        """1-indexed convention: t=0 is the run start, t=T the last
+        iteration (regression for the off-by-one that read entry ``t``
+        from a "1-indexed entry t-1" array)."""
         result = simulator().simulate(10, tau=5, pi=2, rng=0)
-        assert result.time_at_iteration(0) < result.time_at_iteration(9)
+        assert result.time_at_iteration(0) == 0.0
+        assert result.time_at_iteration(1) == result.iteration_times[0]
+        assert result.time_at_iteration(10) == result.iteration_times[-1]
+        assert (
+            result.time_at_iteration(0)
+            < result.time_at_iteration(9)
+            < result.time_at_iteration(10)
+        )
         with pytest.raises(ValueError):
-            result.time_at_iteration(10)
+            result.time_at_iteration(11)
+        with pytest.raises(ValueError):
+            result.time_at_iteration(-1)
 
 
 class TestQuorumSemantics:
@@ -74,10 +86,30 @@ class TestQuorumSemantics:
         assert partial.total_time < full.total_time
 
     def test_invalid_quorum(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
             simulator(quorum=0.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
             simulator(quorum=1.5)
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            simulator(quorum=-0.1)
+
+    def test_cloud_records_discarded_uploads(self):
+        """Late workers' in-flight uploads land on the cloud record
+        instead of vanishing (regression: they used to be dropped with
+        no trace at the cloud tier)."""
+        partial = simulator(quorum=0.5).simulate(40, tau=5, pi=2, rng=0)
+        discarded = set()
+        for cloud in partial.cloud_rounds:
+            assert cloud.edges_included == (0, 1)
+            discarded.update(cloud.stale_uploads)
+        late = {w for r in partial.edge_rounds for w in r.workers_late}
+        assert discarded == late
+        assert discarded  # half quorum always leaves someone behind
+
+    def test_full_quorum_has_no_stale_uploads(self):
+        result = simulator(quorum=1.0).simulate(40, tau=5, pi=2, rng=0)
+        for cloud in result.cloud_rounds:
+            assert cloud.stale_uploads == ()
 
 
 class TestPhysicalConsistency:
