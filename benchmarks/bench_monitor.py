@@ -1,0 +1,156 @@
+"""Monitoring overhead benchmarks (PR acceptance: disabled ≤ 2%).
+
+Two gates on the run-event stream:
+
+* ``null_monitor_overhead`` — the instrumented HierAdMo step under the
+  null monitor (the default) against an unmonitored replica of the same
+  step body; the guard must cost ≤ 2%;
+* ``jsonl_sink_throughput`` — events per second through a live
+  :class:`RunMonitor` into a line-buffered JSONL sink, pinned to a
+  floor so streaming never silently becomes the bottleneck.
+
+Results land in ``BENCH_monitor.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.core import Federation, HierAdMo
+from repro.data import Dataset
+from repro.monitoring import JSONLStreamSink, RunMonitor, set_monitor
+from repro.nn.models import make_mlp
+
+from .recorder import record_bench
+
+# Acceptance threshold for the disabled-monitoring ("null monitor") path.
+MAX_DISABLED_OVERHEAD = 0.02
+# Floor for streaming-sink throughput (events per second).  Measured
+# ~85k/s on the reference container; the pin sits far below so only a
+# real regression (per-event re-serialization, unbuffered writes) trips.
+MIN_SINK_EVENTS_PER_SEC = 20_000
+
+
+def _time_min(fn, repeats=9, iters=20):
+    """Best-of-repeats mean iteration time (robust to scheduler noise)."""
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best / iters
+
+
+def _make_bench_federation(num_edges=4, per_edge=6):
+    """Small MLP (dim 421), 24 workers across 4 edges."""
+    rng = np.random.default_rng(7)
+    edges = [
+        [
+            Dataset(rng.normal(size=(96, 20)), rng.integers(0, 5, 96), 5)
+            for _ in range(per_edge)
+        ]
+        for _ in range(num_edges)
+    ]
+    model = make_mlp(20, (16,), 5, rng=8)
+    return Federation(model, edges, edges[0][0], batch_size=8, seed=9)
+
+
+def _make_algo():
+    fed = _make_bench_federation()
+    # tau=pi=1: every step crosses both instrumentation points (edge and
+    # cloud round), the worst case for the monitoring guard.
+    algo = HierAdMo(fed, tau=1, pi=1)
+    algo.history = fed.new_history("bench", {})
+    algo._setup()
+    return fed, algo
+
+
+def _unmonitored_step(algo, t):
+    """The ``_step`` body with no monitoring calls, for the baseline."""
+    loss = algo._worker_iteration()
+    if t % algo.tau == 0:
+        gammas = algo._edge_update(t)
+        algo.history.record_gammas(gammas)
+    if t % (algo.tau * algo.pi) == 0:
+        algo._cloud_update(t)
+    return loss
+
+
+def test_bench_null_monitor_overhead():
+    """Null-monitor step within 2% of the unmonitored replica."""
+    telemetry.disable()
+    set_monitor(None)  # the default, stated explicitly
+    fed, algo = _make_algo()
+    clock = iter(range(10**9))
+
+    def unmonitored():
+        _unmonitored_step(algo, next(clock))
+
+    def live():
+        algo._step(next(clock))
+
+    unmonitored()  # warm-up both paths
+    live()
+    unmonitored_time = _time_min(unmonitored)
+    disabled_time = _time_min(live)
+
+    overhead = disabled_time / unmonitored_time - 1.0
+    print(
+        f"\n[bench] monitoring overhead, {fed.num_workers} workers, "
+        f"dim={fed.dim}: unmonitored {unmonitored_time * 1e6:.0f} us, "
+        f"null monitor {disabled_time * 1e6:.0f} us ({overhead:+.1%})"
+    )
+    record_bench("monitor", "null_monitor_overhead", {
+        "workers": fed.num_workers,
+        "dim": fed.dim,
+        "unmonitored_us": unmonitored_time * 1e6,
+        "disabled_us": disabled_time * 1e6,
+        "disabled_overhead": overhead,
+        "threshold": MAX_DISABLED_OVERHEAD,
+    })
+    assert overhead <= MAX_DISABLED_OVERHEAD, (
+        f"null-monitor step {overhead:+.1%} over the unmonitored "
+        f"baseline (budget {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+
+
+def test_bench_jsonl_sink_throughput(tmp_path):
+    """Streamed events per second through the hub stays above the pin."""
+    events = 20_000
+    sink = JSONLStreamSink(tmp_path / "bench.jsonl")
+    hub = RunMonitor(sinks=[sink])
+
+    start = time.perf_counter()
+    for i in range(events):
+        hub.emit(
+            "eval",
+            iteration=i,
+            accuracy=0.5,
+            test_loss=0.5,
+            train_loss=0.5,
+            total_bytes=float(i),
+        )
+    elapsed = time.perf_counter() - start
+    hub.close()
+
+    per_sec = events / elapsed
+    per_event_us = elapsed / events * 1e6
+    print(
+        f"\n[bench] jsonl sink: {per_sec:,.0f} events/s "
+        f"({per_event_us:.1f} us/event, {events} events)"
+    )
+    record_bench("monitor", "jsonl_sink_throughput", {
+        "events": events,
+        "events_per_sec": per_sec,
+        "per_event_us": per_event_us,
+        "floor_events_per_sec": MIN_SINK_EVENTS_PER_SEC,
+    })
+    assert per_sec >= MIN_SINK_EVENTS_PER_SEC, (
+        f"streaming sink at {per_sec:,.0f} events/s, below the "
+        f"{MIN_SINK_EVENTS_PER_SEC:,} floor"
+    )

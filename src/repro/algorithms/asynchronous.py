@@ -34,6 +34,7 @@ from repro.core.federation import Federation
 from repro.core.hieradmo import HierAdMo
 from repro.algorithms.twotier import FedAvg
 from repro.metrics.history import TrainingHistory
+from repro.monitoring.health import MonitorAbort
 from repro.simulation.devices import worker_device_pool
 from repro.simulation.engine import AsyncDeployment, EventLoopRunner
 from repro.telemetry import get_tracer
@@ -133,6 +134,16 @@ class AsyncExecutionMixin:
         self.history.eval_times.append(float(time))
         self._loss_sum = 0.0
         self._loss_count = 0
+        self._emit_eval(t, accuracy, loss, train, sim_time=float(time))
+
+    def monitor_round_data(self, group: int, round_index: int) -> dict:
+        """Algorithm payload for the engine's ``edge_round`` events."""
+        if not self._records_gammas:
+            return {}
+        gamma = self._gamma_pending.get(round_index, {}).get(group)
+        if gamma is None:
+            return {}
+        return {"gammas": {str(group): float(gamma)}}
 
     # ------------------------------------------------------------------
     # Driver
@@ -187,6 +198,7 @@ class AsyncExecutionMixin:
         self._async_setup()
         self._eval_every = eval_every
         self._total_iterations = total_iterations
+        self._emit_run_start(total_iterations, eval_every)
 
         accuracy, loss = self.fed.evaluate(self._global_eval_params())
         history.record_eval(0, accuracy, loss, train_loss=float("nan"))
@@ -204,19 +216,69 @@ class AsyncExecutionMixin:
             stop_on_divergence=stop_on_divergence,
         )
         self.runner = runner
-        self.simulation = runner.run()
-        if stop_on_divergence and runner.diverged_at is not None:
-            history.diverged = True
-            history.diverged_at = runner.diverged_at
-            accuracy, loss = self.fed.evaluate(self._global_eval_params())
-            history.record_eval(
-                runner.diverged_at,
-                accuracy,
-                loss,
-                train_loss=runner.diverged_loss,
-            )
-            history.eval_times.append(runner.last_event_time)
+        try:
+            self._emit_eval(0, accuracy, loss, float("nan"), sim_time=0.0)
+            self.simulation = runner.run()
+            if stop_on_divergence and runner.diverged_at is not None:
+                history.diverged = True
+                history.diverged_at = runner.diverged_at
+                accuracy, loss = self.fed.evaluate(self._global_eval_params())
+                history.record_eval(
+                    runner.diverged_at,
+                    accuracy,
+                    loss,
+                    train_loss=runner.diverged_loss,
+                )
+                history.eval_times.append(runner.last_event_time)
+                self._emit_eval(
+                    runner.diverged_at,
+                    accuracy,
+                    loss,
+                    runner.diverged_loss,
+                    sim_time=runner.last_event_time,
+                )
+        except MonitorAbort as abort:
+            # The runner's finally-clause built ``result`` from the
+            # rounds completed before the abort.
+            self.simulation = runner.result
+            history.aborted_by = abort.alert.monitor
+            iteration = abort.alert.iteration
+            if not history.iterations or history.iterations[-1] != iteration:
+                accuracy, loss = self.fed.evaluate(self._global_eval_params())
+                history.record_eval(
+                    iteration, accuracy, loss, train_loss=float("nan")
+                )
+                history.eval_times.append(runner.last_event_time)
         return self._finish_run(history)
+
+    # ------------------------------------------------------------------
+    # Run digests
+    # ------------------------------------------------------------------
+    def _stale_upload_tally(self) -> dict:
+        """Summary of the stale uploads recorded at the cloud rounds."""
+        cloud = self.simulation.cloud_rounds if self.simulation else []
+        workers = sorted(
+            {int(w) for record in cloud for w in record.stale_uploads}
+        )
+        return {
+            "uploads": sum(len(r.stale_uploads) for r in cloud),
+            "cloud_rounds": len(cloud),
+            "rounds_with_stale": sum(
+                1 for r in cloud if r.stale_uploads
+            ),
+            "workers": workers,
+        }
+
+    def _finish_run(self, history: TrainingHistory) -> TrainingHistory:
+        tally = self._stale_upload_tally()
+        tracer = get_tracer()
+        if tracer.enabled and tally["uploads"]:
+            # Counted before the base class freezes trace_summary.
+            tracer.count("eventsim.stale_uploads", tally["uploads"])
+        history = super()._finish_run(history)
+        if history.fault_summary is not None:
+            history.fault_summary["stale_uploads"] = tally
+        return history
 
 
 class AsyncHierAdMo(AsyncExecutionMixin, HierAdMo):

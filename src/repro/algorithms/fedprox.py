@@ -64,7 +64,7 @@ class FedProx(TwoTierAlgorithm):
                     self.x[self._round_receivers(outcome)] = (
                         self.global_params
                     )
-                    self._record_round(outcome=outcome)
+                    self._record_round(outcome=outcome, t=t)
         return loss
 
     def _global_params(self) -> np.ndarray:

@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.base import FLAlgorithm
 from repro.core.federation import Federation
 from repro.faults import degrade_round
+from repro.monitoring.monitor import get_monitor
 from repro.telemetry import get_tracer
 from repro.utils.validation import check_positive_int
 
@@ -188,10 +189,25 @@ class HierFAVG(FLAlgorithm):
 
     def _step(self, t: int) -> float:
         loss = self._local_iteration()
+        monitor = get_monitor()
         if t % self.tau == 0:
             self._edge_aggregate(t=t)
+            if monitor.enabled:
+                monitor.emit(
+                    "edge_round",
+                    iteration=t,
+                    tier="edge",
+                    edges=self.fed.num_edges,
+                )
         if t % (self.tau * self.pi) == 0:
             self._cloud_aggregate(t=t)
+            if monitor.enabled:
+                monitor.emit(
+                    "cloud_round",
+                    iteration=t,
+                    tier="cloud",
+                    edges=self.fed.num_edges,
+                )
         return loss
 
     def _global_params(self) -> np.ndarray:
@@ -219,12 +235,27 @@ class CFL(HierFAVG):
 
     def _step(self, t: int) -> float:
         loss = self._local_iteration()
+        monitor = get_monitor()
         if t % self.tau == 0:
             with get_tracer().span("edge_agg"):
                 self._cfl_edge_round(t)
+            if monitor.enabled:
+                monitor.emit(
+                    "edge_round",
+                    iteration=t,
+                    tier="edge",
+                    edges=self.fed.num_edges,
+                )
         if t % (self.tau * self.pi) == 0:
             self._cloud_aggregate(to_workers=False, t=t)
             self._cloud_pending = [True] * self.fed.num_edges
+            if monitor.enabled:
+                monitor.emit(
+                    "cloud_round",
+                    iteration=t,
+                    tier="cloud",
+                    edges=self.fed.num_edges,
+                )
         return loss
 
     def _cfl_edge_round(self, t: int) -> None:

@@ -81,14 +81,14 @@ class SampledFedAvg(TwoTierAlgorithm):
                 if outcome.pristine:
                     self.server_params = weights @ self.x[self.active]
                     # Only the sampled workers exchange state this round.
-                    self._record_round(len(self.active))
+                    self._record_round(len(self.active), t=t)
                     self._sample_round()
                 elif not outcome.skip:
                     active = np.asarray(self.active)
                     self.server_params = (
                         outcome.agg_weights @ self.x[active[outcome.agg_rows]]
                     )
-                    self._record_round(outcome=outcome)
+                    self._record_round(outcome=outcome, t=t)
                     self._sample_round()
                 # A skipped round keeps this round's participants training
                 # until the next scheduled aggregation.

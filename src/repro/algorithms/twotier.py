@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.base import FLAlgorithm
 from repro.core.federation import Federation
 from repro.faults import RoundOutcome, degrade_round
+from repro.monitoring.monitor import get_monitor
 from repro.telemetry import get_tracer
 from repro.utils.validation import (
     check_fraction,
@@ -78,21 +79,37 @@ class TwoTierAlgorithm(FLAlgorithm):
         participants: int | None = None,
         *,
         outcome: RoundOutcome | None = None,
+        t: int = 0,
     ) -> None:
-        """Ledger entry for one aggregation round.
+        """Ledger entry (and monitor event) for one aggregation round.
 
         Two-tier workers talk to the cloud directly, so a round is one
         upload + one download per participating worker on the
         edge↔cloud (WAN) tier.  A degraded round bills the transfer
         events its :class:`RoundOutcome` realized instead (attempted
         uploads, retransmissions, duplicates, successful downloads).
+        This is the one chokepoint every two-tier algorithm's round
+        passes through, so the monitor's ``cloud_round`` event is
+        emitted here for all of them.
         """
         if outcome is not None and not outcome.pristine:
             self.history.comm.record_edge_cloud(outcome.events)
-            return
-        if participants is None:
-            participants = self.fed.num_workers
-        self.history.comm.record_edge_cloud(2 * participants)
+            transfers = outcome.events
+            participants = len(outcome.agg_rows)
+        else:
+            if participants is None:
+                participants = self.fed.num_workers
+            transfers = 2 * participants
+            self.history.comm.record_edge_cloud(transfers)
+        monitor = get_monitor()
+        if monitor.enabled:
+            monitor.emit(
+                "cloud_round",
+                iteration=t,
+                tier="cloud",
+                participants=int(participants),
+                transfers=int(transfers),
+            )
 
     # ------------------------------------------------------------------
     # Fault-plan plumbing (all no-ops without an attached plan)
@@ -153,7 +170,7 @@ class FedAvg(TwoTierAlgorithm):
                     self.x[self._round_receivers(outcome)] = (
                         self._round_average(self.x, outcome)
                     )
-                    self._record_round(outcome=outcome)
+                    self._record_round(outcome=outcome, t=t)
         return loss
 
 
@@ -211,7 +228,7 @@ class FedNAG(TwoTierAlgorithm):
                     recv = self._round_receivers(outcome)
                     self.x[recv] = self._round_average(self.x, outcome)
                     self.y[recv] = self._round_average(self.y, outcome)
-                    self._record_round(outcome=outcome)
+                    self._record_round(outcome=outcome, t=t)
         return loss
 
 
@@ -261,7 +278,7 @@ class FedMom(TwoTierAlgorithm):
                     self.x[self._round_receivers(outcome)] = (
                         self.server_params
                     )
-                    self._record_round(outcome=outcome)
+                    self._record_round(outcome=outcome, t=t)
         return loss
 
     def _global_params(self) -> np.ndarray:
@@ -318,7 +335,7 @@ class SlowMo(TwoTierAlgorithm):
                     self.x[self._round_receivers(outcome)] = (
                         self.server_params
                     )
-                    self._record_round(outcome=outcome)
+                    self._record_round(outcome=outcome, t=t)
         return loss
 
     def _global_params(self) -> np.ndarray:
@@ -395,7 +412,7 @@ class Mime(TwoTierAlgorithm):
                         + self.beta * self.server_state
                     )
                     self.x[self._round_receivers(outcome)] = x_bar
-                    self._record_round(outcome=outcome)
+                    self._record_round(outcome=outcome, t=t)
         return loss
 
 
@@ -463,7 +480,7 @@ class FedADC(TwoTierAlgorithm):
                     recv = self._round_receivers(outcome)
                     self.x[recv] = self.server_params
                     self.local_momentum[recv] = self.server_momentum
-                    self._record_round(outcome=outcome)
+                    self._record_round(outcome=outcome, t=t)
         return loss
 
     def _global_params(self) -> np.ndarray:
@@ -542,7 +559,7 @@ class FastSlowMo(TwoTierAlgorithm):
                     recv = self._round_receivers(outcome)
                     self.x[recv] = self.server_params
                     self.y[recv] = y_bar
-                    self._record_round(outcome=outcome)
+                    self._record_round(outcome=outcome, t=t)
         return loss
 
     def _global_params(self) -> np.ndarray:

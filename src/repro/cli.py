@@ -79,7 +79,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="HierAdMo", choices=sorted(ALGORITHM_REGISTRY)
     )
     run_parser.add_argument("--save", help="write the history JSON here")
+    run_parser.add_argument(
+        "--monitor", metavar="PATH",
+        help="stream run events to this JSONL file (watch it live with "
+             "'repro monitor PATH') and run the default health monitors",
+    )
     _add_config_arguments(run_parser)
+
+    monitor_parser = sub.add_parser(
+        "monitor", help="dashboard over a streaming run-event JSONL"
+    )
+    monitor_parser.add_argument(
+        "stream", help="event JSONL written by 'repro run --monitor' or a "
+                       "JSONLStreamSink",
+    )
+    monitor_parser.add_argument(
+        "--once", action="store_true",
+        help="render one dashboard frame and exit (default: follow the "
+             "stream until its run_end record)",
+    )
+    monitor_parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period in seconds when following",
+    )
+    monitor_parser.add_argument(
+        "--width", type=int, default=64, help="dashboard width in columns"
+    )
 
     table_parser = sub.add_parser("table2", help="one Table II column")
     table_parser.add_argument(
@@ -160,8 +185,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _monitor_command(args: argparse.Namespace) -> int:
+    """Render (once) or follow a streaming run-event JSONL."""
+    import time
+    from pathlib import Path
+
+    from repro.monitoring import load_events_jsonl, render_dashboard
+
+    path = Path(args.stream)
+    if args.once:
+        if not path.exists():
+            raise SystemExit(f"no event stream at {path}")
+        print(render_dashboard(load_events_jsonl(path), width=args.width),
+              end="")
+        return 0
+    try:
+        while True:
+            if path.exists():
+                events = load_events_jsonl(path)
+                frame = render_dashboard(events, width=args.width)
+                # ANSI clear + home, so the dashboard refreshes in place.
+                print("\x1b[2J\x1b[H" + frame, end="", flush=True)
+                if any(event.kind == "run_end" for event in events):
+                    return 0
+            else:
+                print(f"waiting for {path} ...", flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "monitor":
+        return _monitor_command(args)
 
     if args.command == "list":
         print("algorithms: " + ", ".join(sorted(ALGORITHM_REGISTRY)))
@@ -205,10 +263,29 @@ def main(argv: list[str] | None = None) -> int:
     config = _config_from_args(args)
 
     if args.command == "run":
-        history = run_single(args.algorithm, config)
+        if args.monitor:
+            from repro.monitoring import (
+                JSONLStreamSink,
+                default_monitors,
+                monitoring,
+            )
+
+            with monitoring(
+                sinks=[JSONLStreamSink(args.monitor)],
+                monitors=default_monitors(),
+            ):
+                history = run_single(args.algorithm, config)
+            print(f"events streamed to {args.monitor}")
+        else:
+            history = run_single(args.algorithm, config)
         for t, accuracy in zip(history.iterations, history.test_accuracy):
             print(f"iteration {t:6d}: accuracy {accuracy:.4f}")
         print(f"final accuracy: {history.final_accuracy:.4f}")
+        if history.aborted_by:
+            print(f"run aborted by monitor: {history.aborted_by}")
+        for alert in history.alerts:
+            print(f"alert [{alert['monitor']}] iteration "
+                  f"{alert['iteration']}: {alert['message']}")
         if args.save:
             save_history(history, args.save)
             print(f"history written to {args.save}")
@@ -297,6 +374,12 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  {name:<18} {count}")
         else:
             print("injected events: none realized")
+        stale = summary.get("stale_uploads")
+        if stale is not None:
+            print(f"stale uploads: {stale.get('uploads', 0)} across "
+                  f"{stale.get('rounds_with_stale', 0)}/"
+                  f"{stale.get('cloud_rounds', 0)} cloud rounds "
+                  f"(workers: {stale.get('workers', [])})")
         return 0
 
     if args.command == "timing":

@@ -20,6 +20,8 @@ import numpy as np
 from repro.core.federation import Federation
 from repro.faults import FaultInjector, FaultPlan, check_policy
 from repro.metrics.history import TrainingHistory
+from repro.monitoring.health import MonitorAbort
+from repro.monitoring.monitor import get_monitor
 from repro.telemetry import get_tracer
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -56,6 +58,9 @@ class FLAlgorithm:
         self.faults: FaultInjector | None = None
         self.degradation = "renormalize"
         self._up_mask: np.ndarray | None = None
+        # Index into the active monitor's alert list at run start, so
+        # only this run's alerts land on its history.
+        self._alert_mark = 0
 
     def attach_faults(
         self,
@@ -115,6 +120,73 @@ class FLAlgorithm:
         return {"eta": self.eta}
 
     # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+    def _emit_eval(
+        self,
+        iteration: int,
+        accuracy: float,
+        test_loss: float,
+        train_loss: float,
+        *,
+        sim_time: float | None = None,
+    ) -> None:
+        """Stream one evaluation point to the active monitor.
+
+        Reads state only (losses already computed, ledger counters) so
+        monitored and unmonitored runs stay bit-exact.  May raise
+        :class:`MonitorAbort` when an aborting health monitor fires.
+        """
+        monitor = get_monitor()
+        if not monitor.enabled:
+            return
+        comm = self.history.comm
+        data = {
+            "accuracy": float(accuracy),
+            "test_loss": float(test_loss),
+            "train_loss": float(train_loss),
+            "worker_edge_bytes": comm.worker_edge_bytes,
+            "edge_cloud_bytes": comm.edge_cloud_bytes,
+            "total_bytes": comm.total_bytes,
+        }
+        if self.faults is not None:
+            data["fault_events"] = int(sum(self.faults.counts.values()))
+        monitor.emit("eval", iteration=iteration, sim_time=sim_time, **data)
+
+    def _emit_run_start(self, total_iterations: int, eval_every: int) -> None:
+        monitor = get_monitor()
+        if not monitor.enabled:
+            return
+        self._alert_mark = len(monitor.alerts)
+        monitor.emit(
+            "run_start",
+            algorithm=self.name,
+            total_iterations=int(total_iterations),
+            eval_every=int(eval_every),
+            workers=self.fed.num_workers,
+            edges=self.fed.num_edges,
+            dim=self.fed.dim,
+        )
+
+    def _abort_run(
+        self, history: TrainingHistory, abort: MonitorAbort
+    ) -> TrainingHistory:
+        """Clean end-of-run path when a monitor raised :class:`MonitorAbort`.
+
+        Records one final evaluation point (unless the abort fired on an
+        eval event already recorded at that iteration) so the history
+        ends at the abort, then finishes normally.
+        """
+        history.aborted_by = abort.alert.monitor
+        iteration = abort.alert.iteration
+        if not history.iterations or history.iterations[-1] != iteration:
+            accuracy, loss = self.fed.evaluate(self._global_params())
+            history.record_eval(
+                iteration, accuracy, loss, train_loss=float("nan")
+            )
+        return self._finish_run(history)
+
+    # ------------------------------------------------------------------
     # Driver
     # ------------------------------------------------------------------
     def run(
@@ -154,6 +226,7 @@ class FLAlgorithm:
         self._up_mask = None
 
         self._setup()
+        self._emit_run_start(total_iterations, eval_every)
 
         accuracy, loss = self.fed.evaluate(self._global_params())
         # No training batches have run at iteration 0, so there is no
@@ -161,38 +234,69 @@ class FLAlgorithm:
         # seed implementation did, silently conflated the two series).
         history.record_eval(0, accuracy, loss, train_loss=float("nan"))
 
-        running_loss = 0.0
-        since_eval = 0
-        for t in range(1, total_iterations + 1):
-            if self.eta_schedule is not None:
-                self.eta = check_positive(
-                    self.eta_schedule(t - 1), "scheduled eta"
-                )
-            if faults is not None:
-                self._up_mask = faults.worker_mask(t)
-            step_loss = self._step(t)
-            if stop_on_divergence and not np.isfinite(step_loss):
-                history.diverged = True
-                history.diverged_at = t
-                accuracy, loss = self.fed.evaluate(self._global_params())
-                history.record_eval(t, accuracy, loss, train_loss=step_loss)
-                return self._finish_run(history)
-            running_loss += step_loss
-            since_eval += 1
-            if t % eval_every == 0 or t == total_iterations:
-                accuracy, loss = self.fed.evaluate(self._global_params())
-                history.record_eval(
-                    t, accuracy, loss, train_loss=running_loss / since_eval
-                )
-                running_loss = 0.0
-                since_eval = 0
+        try:
+            self._emit_eval(0, accuracy, loss, float("nan"))
+            running_loss = 0.0
+            since_eval = 0
+            for t in range(1, total_iterations + 1):
+                if self.eta_schedule is not None:
+                    self.eta = check_positive(
+                        self.eta_schedule(t - 1), "scheduled eta"
+                    )
+                if faults is not None:
+                    self._up_mask = faults.worker_mask(t)
+                step_loss = self._step(t)
+                if stop_on_divergence and not np.isfinite(step_loss):
+                    history.diverged = True
+                    history.diverged_at = t
+                    accuracy, loss = self.fed.evaluate(self._global_params())
+                    history.record_eval(
+                        t, accuracy, loss, train_loss=step_loss
+                    )
+                    self._emit_eval(t, accuracy, loss, step_loss)
+                    return self._finish_run(history)
+                running_loss += step_loss
+                since_eval += 1
+                if t % eval_every == 0 or t == total_iterations:
+                    accuracy, loss = self.fed.evaluate(self._global_params())
+                    train_loss = running_loss / since_eval
+                    history.record_eval(
+                        t, accuracy, loss, train_loss=train_loss
+                    )
+                    self._emit_eval(t, accuracy, loss, train_loss)
+                    running_loss = 0.0
+                    since_eval = 0
+        except MonitorAbort as abort:
+            return self._abort_run(history, abort)
         return self._finish_run(history)
 
     def _finish_run(self, history: TrainingHistory) -> TrainingHistory:
-        """Attach tracer and fault digests when the run recorded them."""
+        """Attach tracer/fault/monitor digests when the run recorded them."""
         tracer = get_tracer()
         if tracer.enabled:
             history.trace_summary = tracer.summary()
         if self.faults is not None:
             history.fault_summary = self.faults.summary()
+        monitor = get_monitor()
+        if monitor.enabled:
+            history.alerts.extend(
+                alert.to_dict() for alert in monitor.alerts[self._alert_mark:]
+            )
+            if history.aborted_by:
+                status = "aborted"
+            elif history.diverged:
+                status = "diverged"
+            else:
+                status = "finished"
+            monitor.emit(
+                "run_end",
+                iteration=history.iterations[-1] if history.iterations else 0,
+                status=status,
+                aborted_by=history.aborted_by,
+                final_accuracy=(
+                    history.test_accuracy[-1] if history.test_accuracy else None
+                ),
+                total_bytes=history.comm.total_bytes,
+                alerts=len(history.alerts),
+            )
         return history

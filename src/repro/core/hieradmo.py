@@ -22,6 +22,7 @@ from repro.core.adaptive import AdaptiveGammaController
 from repro.core.base import FLAlgorithm
 from repro.core.federation import Federation
 from repro.faults import degrade_round
+from repro.monitoring.monitor import get_monitor
 from repro.telemetry import get_tracer
 from repro.utils.validation import check_fraction, check_positive_int
 
@@ -341,11 +342,27 @@ class HierAdMo(FLAlgorithm):
     # ------------------------------------------------------------------
     def _step(self, t: int) -> float:
         loss = self._worker_iteration()
+        monitor = get_monitor()
         if t % self.tau == 0:
             gammas = self._edge_update(t)
             self.history.record_gammas(gammas)
+            if monitor.enabled:
+                monitor.emit(
+                    "edge_round",
+                    iteration=t,
+                    tier="edge",
+                    gammas={str(k): v for k, v in gammas.items()},
+                    edges=len(gammas),
+                )
         if t % (self.tau * self.pi) == 0:
             self._cloud_update(t)
+            if monitor.enabled:
+                monitor.emit(
+                    "cloud_round",
+                    iteration=t,
+                    tier="cloud",
+                    edges=self.fed.num_edges,
+                )
         return loss
 
     def _global_params(self) -> np.ndarray:

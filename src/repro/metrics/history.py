@@ -54,6 +54,12 @@ class TrainingHistory:
     diverged: bool = False
     diverged_at: int | None = None
 
+    # Health-monitor findings (``Alert.to_dict()`` records) when the run
+    # executed under an active monitor; empty otherwise.  ``aborted_by``
+    # names the monitor that stopped the run via ``MonitorAbort``.
+    alerts: list[dict] = field(default_factory=list)
+    aborted_by: str | None = None
+
     # ------------------------------------------------------------------
     # Legacy communication counters
     # ------------------------------------------------------------------

@@ -41,6 +41,10 @@ def history_to_dict(history: TrainingHistory) -> dict:
         "comm": history.comm.to_dict(),
         "trace_summary": history.trace_summary,
         "fault_summary": history.fault_summary,
+        "diverged": history.diverged,
+        "diverged_at": history.diverged_at,
+        "alerts": list(history.alerts),
+        "aborted_by": history.aborted_by,
     }
 
 
@@ -67,6 +71,12 @@ def history_from_dict(payload: dict) -> TrainingHistory:
         history.edge_cloud_rounds = int(payload.get("edge_cloud_rounds", 0))
     history.trace_summary = payload.get("trace_summary")
     history.fault_summary = payload.get("fault_summary")
+    history.diverged = bool(payload.get("diverged", False))
+    diverged_at = payload.get("diverged_at")
+    history.diverged_at = None if diverged_at is None else int(diverged_at)
+    history.alerts = [dict(alert) for alert in payload.get("alerts", [])]
+    aborted_by = payload.get("aborted_by")
+    history.aborted_by = None if aborted_by is None else str(aborted_by)
     return history
 
 

@@ -1,0 +1,79 @@
+"""Live run monitoring: event stream, metrics registry, health alerts.
+
+The streaming counterpart of :mod:`repro.telemetry` — where the tracer
+answers "what happened" after a run, the monitoring layer answers "is
+this run healthy" while it happens.  See ``docs/architecture.md`` §13
+for the stream schema and monitor lifecycle.
+"""
+
+from repro.monitoring.dashboard import render_dashboard
+from repro.monitoring.events import (
+    ALERT,
+    CLOUD_ROUND,
+    EDGE_ROUND,
+    EVAL,
+    EVENT_KINDS,
+    RUN_END,
+    RUN_START,
+    RunEvent,
+)
+from repro.monitoring.health import (
+    Alert,
+    DivergenceMonitor,
+    FaultBudgetMonitor,
+    HealthMonitor,
+    MonitorAbort,
+    PlateauMonitor,
+    QuorumStarvationMonitor,
+    StalenessRunawayMonitor,
+    default_monitors,
+)
+from repro.monitoring.monitor import (
+    NULL_MONITOR,
+    NullMonitor,
+    RunMonitor,
+    get_monitor,
+    monitoring,
+    set_monitor,
+)
+from repro.monitoring.registry import MetricsRegistry
+from repro.monitoring.sinks import (
+    CallbackSink,
+    EventSink,
+    JSONLStreamSink,
+    RingBufferSink,
+    load_events_jsonl,
+)
+
+__all__ = [
+    "RunEvent",
+    "EVENT_KINDS",
+    "RUN_START",
+    "EVAL",
+    "EDGE_ROUND",
+    "CLOUD_ROUND",
+    "ALERT",
+    "RUN_END",
+    "EventSink",
+    "RingBufferSink",
+    "JSONLStreamSink",
+    "CallbackSink",
+    "load_events_jsonl",
+    "MetricsRegistry",
+    "Alert",
+    "MonitorAbort",
+    "HealthMonitor",
+    "DivergenceMonitor",
+    "PlateauMonitor",
+    "QuorumStarvationMonitor",
+    "StalenessRunawayMonitor",
+    "FaultBudgetMonitor",
+    "default_monitors",
+    "RunMonitor",
+    "NullMonitor",
+    "NULL_MONITOR",
+    "get_monitor",
+    "set_monitor",
+    "monitoring",
+    "render_dashboard",
+]

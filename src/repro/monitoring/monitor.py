@@ -1,0 +1,236 @@
+"""The monitoring hub: event fan-out, metric folding, health checks.
+
+Mirrors the tracer's active-instance pattern
+(:mod:`repro.telemetry.tracer`): a module-level active monitor that
+instrumented code fetches with :func:`get_monitor` and guards with the
+``enabled`` flag.  The default is :data:`NULL_MONITOR`, whose ``emit``
+is an unconditional no-op — an unmonitored run takes exactly one
+attribute check per instrumentation point and stays bit-exact
+(emission only ever *reads* algorithm state).
+
+A live :class:`RunMonitor` does three things per event, in order:
+
+1. folds the event into its :class:`~repro.monitoring.registry.MetricsRegistry`
+   (latest accuracy/loss gauges, per-tier round counters, γ per edge,
+   byte totals);
+2. fans the event out to every sink;
+3. offers the event to each health monitor; any returned
+   :class:`~repro.monitoring.health.Alert` is recorded on
+   ``monitor.alerts``, dispatched to the sinks as an ``alert`` event,
+   counted in the registry, and — for monitors constructed with
+   ``abort=True`` — escalated as :class:`MonitorAbort` so the run
+   drivers can stop cleanly.  ``run_end`` events never escalate: the
+   run is already over.
+
+Use the :func:`monitoring` context manager for scoped installation::
+
+    with monitoring(sinks=[JSONLStreamSink("run.jsonl")],
+                    monitors=default_monitors()) as monitor:
+        history = algorithm.run()
+    print(monitor.registry.exposition())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.monitoring.events import ALERT, RUN_END, RunEvent
+from repro.monitoring.health import Alert, HealthMonitor, MonitorAbort
+from repro.monitoring.registry import MetricsRegistry
+from repro.monitoring.sinks import EventSink
+
+__all__ = [
+    "RunMonitor",
+    "NullMonitor",
+    "NULL_MONITOR",
+    "get_monitor",
+    "set_monitor",
+    "monitoring",
+]
+
+# Eval-event payload keys folded into same-named gauges.
+_EVAL_GAUGES = (
+    ("accuracy", "repro_test_accuracy"),
+    ("test_loss", "repro_test_loss"),
+    ("train_loss", "repro_train_loss"),
+    ("worker_edge_bytes", "repro_worker_edge_bytes"),
+    ("edge_cloud_bytes", "repro_edge_cloud_bytes"),
+    ("total_bytes", "repro_total_bytes"),
+)
+
+
+class RunMonitor:
+    """Live event hub for one monitoring session."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        sinks: tuple[EventSink, ...] | list[EventSink] = (),
+        monitors: tuple[HealthMonitor, ...] | list[HealthMonitor] = (),
+        registry: MetricsRegistry | None = None,
+        clock=time.perf_counter,
+    ):
+        self.sinks = list(sinks)
+        self.monitors = list(monitors)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.alerts: list[Alert] = []
+        self._clock = clock
+        self._epoch = clock()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        *,
+        iteration: int = 0,
+        tier: str = "",
+        sim_time: float | None = None,
+        **data,
+    ) -> RunEvent:
+        """Build, fold, fan out and health-check one event.
+
+        Raises :class:`MonitorAbort` when an aborting health monitor
+        fires on this event (never for ``run_end``).
+        """
+        event = RunEvent(
+            kind=kind,
+            seq=self._seq,
+            wall_time=self._clock() - self._epoch,
+            iteration=iteration,
+            tier=tier,
+            sim_time=sim_time,
+            data=data,
+        )
+        self._seq += 1
+        self._fold(event)
+        for sink in self.sinks:
+            sink.emit(event)
+        escalate: Alert | None = None
+        for health in self.monitors:
+            alert = health.observe(event)
+            if alert is None:
+                continue
+            self._record_alert(alert)
+            if health.abort and escalate is None:
+                escalate = alert
+        if escalate is not None and kind != RUN_END:
+            raise MonitorAbort(escalate)
+        return event
+
+    def close(self) -> None:
+        """Close every sink; idempotent."""
+        for sink in self.sinks:
+            sink.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _record_alert(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+        self.registry.inc_counter(
+            "repro_alerts_total", labels={"monitor": alert.monitor}
+        )
+        event = RunEvent(
+            kind=ALERT,
+            seq=self._seq,
+            wall_time=alert.wall_time,
+            iteration=alert.iteration,
+            data=alert.to_dict(),
+        )
+        self._seq += 1
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def _fold(self, event: RunEvent) -> None:
+        registry = self.registry
+        registry.inc_counter("repro_events_total", labels={"kind": event.kind})
+        if event.kind == "eval":
+            registry.set_gauge("repro_iteration", event.iteration)
+            for key, gauge in _EVAL_GAUGES:
+                value = event.data.get(key)
+                if value is not None:
+                    registry.set_gauge(gauge, value)
+        elif event.kind in ("edge_round", "cloud_round"):
+            registry.inc_counter(
+                "repro_rounds_total", labels={"tier": event.tier or event.kind}
+            )
+            for edge, gamma in (event.data.get("gammas") or {}).items():
+                registry.set_gauge(
+                    "repro_gamma", gamma, labels={"edge": edge}
+                )
+            if event.data.get("forced"):
+                registry.inc_counter("repro_forced_closures_total")
+            stale = event.data.get("staleness")
+            if stale:
+                registry.inc_counter("repro_stale_folds_total", len(stale))
+            stale_uploads = event.data.get("stale_uploads")
+            if stale_uploads:
+                registry.inc_counter(
+                    "repro_stale_uploads_total", stale_uploads
+                )
+        elif event.kind == "run_start":
+            iterations = event.data.get("total_iterations")
+            if iterations is not None:
+                registry.set_gauge("repro_total_iterations", iterations)
+
+
+class NullMonitor:
+    """Disabled monitor: every instrumentation point short-circuits.
+
+    ``emit`` is still callable (returns None, records nothing) so
+    call sites may skip the ``enabled`` guard off the hot path.
+    """
+
+    enabled = False
+    sinks: tuple = ()
+    monitors: tuple = ()
+    alerts: tuple = ()
+
+    def emit(self, kind: str, **kwargs) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_MONITOR = NullMonitor()
+
+_active: RunMonitor | NullMonitor = NULL_MONITOR
+
+
+def get_monitor() -> RunMonitor | NullMonitor:
+    """The active monitor (instrumented code calls this per block)."""
+    return _active
+
+
+def set_monitor(monitor: RunMonitor | NullMonitor | None) -> RunMonitor | NullMonitor:
+    """Install ``monitor`` as active; ``None`` resets. Returns previous."""
+    global _active
+    previous = _active
+    _active = NULL_MONITOR if monitor is None else monitor
+    return previous
+
+
+@contextmanager
+def monitoring(
+    sinks: tuple[EventSink, ...] | list[EventSink] = (),
+    monitors: tuple[HealthMonitor, ...] | list[HealthMonitor] = (),
+    registry: MetricsRegistry | None = None,
+):
+    """Install a fresh :class:`RunMonitor` for the ``with`` body.
+
+    Restores the previously active monitor and closes the sinks on
+    exit (including on exception / :class:`MonitorAbort`).
+    """
+    monitor = RunMonitor(sinks=sinks, monitors=monitors, registry=registry)
+    previous = set_monitor(monitor)
+    try:
+        yield monitor
+    finally:
+        set_monitor(previous)
+        monitor.close()

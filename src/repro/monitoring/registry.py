@@ -1,0 +1,100 @@
+"""Named gauges and counters with Prometheus-style text exposition.
+
+The :class:`MetricsRegistry` is the pull-side view of a monitored run:
+the hub folds every run event into a small set of named metrics
+(latest accuracy, cumulative bytes per tier, round counters, alert
+counts), and :meth:`MetricsRegistry.exposition` renders them in the
+Prometheus text format — the snapshot a future job server will serve
+from a ``/metrics`` endpoint.
+
+Metrics are identified by name plus an optional, sorted label set
+(``repro_gamma{edge="0"}``).  Gauges hold the last written value;
+counters only accumulate.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MetricsRegistry"]
+
+
+def _metric_key(name: str, labels: dict | None) -> tuple:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+def _format_series(key: tuple) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{body}}}"
+
+
+class MetricsRegistry:
+    """Process-local gauge/counter store for one monitoring session."""
+
+    def __init__(self) -> None:
+        self._gauges: dict[tuple, float] = {}
+        self._counters: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def set_gauge(self, name: str, value: float, labels: dict | None = None) -> None:
+        """Overwrite the gauge with the latest value."""
+        self._gauges[_metric_key(name, labels)] = float(value)
+
+    def inc_counter(
+        self, name: str, value: float = 1.0, labels: dict | None = None
+    ) -> None:
+        """Accumulate ``value`` (must be >= 0) onto the counter."""
+        if value < 0:
+            raise ValueError(f"counters only increase, got {value}")
+        key = _metric_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + float(value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def gauge(self, name: str, labels: dict | None = None) -> float | None:
+        return self._gauges.get(_metric_key(name, labels))
+
+    def counter(self, name: str, labels: dict | None = None) -> float:
+        return self._counters.get(_metric_key(name, labels), 0.0)
+
+    def snapshot(self) -> dict:
+        """JSON-able dump: ``{series-string: value}`` per metric type."""
+        return {
+            "gauges": {
+                _format_series(key): value
+                for key, value in sorted(self._gauges.items())
+            },
+            "counters": {
+                _format_series(key): value
+                for key, value in sorted(self._counters.items())
+            },
+        }
+
+    def exposition(self) -> str:
+        """Prometheus text exposition of every metric.
+
+        Series are grouped per metric name under one ``# TYPE`` header,
+        names sorted, gauges before counters — a stable, diffable
+        snapshot.
+        """
+        lines: list[str] = []
+        for store, metric_type in (
+            (self._gauges, "gauge"),
+            (self._counters, "counter"),
+        ):
+            by_name: dict[str, list[tuple]] = {}
+            for key in store:
+                by_name.setdefault(key[0], []).append(key)
+            for name in sorted(by_name):
+                lines.append(f"# TYPE {name} {metric_type}")
+                for key in sorted(by_name[name]):
+                    value = store[key]
+                    rendered = f"{value:g}"
+                    lines.append(f"{_format_series(key)} {rendered}")
+        return "\n".join(lines) + ("\n" if lines else "")

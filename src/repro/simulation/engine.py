@@ -60,6 +60,7 @@ from repro.simulation.events import (
     EdgeRoundRecord,
     EventSimulation,
 )
+from repro.monitoring.monitor import get_monitor
 from repro.simulation.links import (
     DEFAULT_RETRY_POLICY,
     LINK_PRESETS,
@@ -296,23 +297,28 @@ class EventLoopRunner:
         # events per worker iteration plus a few per round.
         limit = 1000 + 100 * self.num_workers * self.total_iterations
         tracer = get_tracer()
-        while self.queue and not self._aborted:
-            if self._notified >= self.total_rounds:
-                break
-            event = self.queue.pop()
-            if self.queue.processed > limit:
-                raise RuntimeError(
-                    "event budget exceeded — the event loop is not "
-                    "converging (engine bug or pathological deployment)"
-                )
-            self.last_event_time = event.time
-            if tracer.enabled:
-                tracer.count(f"eventsim.{event.kind}")
-            handlers[event.kind](event)
-        self.result = EventSimulation(
-            edge_rounds=self._edge_records,
-            cloud_rounds=self._cloud_records,
-        )
+        try:
+            while self.queue and not self._aborted:
+                if self._notified >= self.total_rounds:
+                    break
+                event = self.queue.pop()
+                if self.queue.processed > limit:
+                    raise RuntimeError(
+                        "event budget exceeded — the event loop is not "
+                        "converging (engine bug or pathological deployment)"
+                    )
+                self.last_event_time = event.time
+                if tracer.enabled:
+                    tracer.count(f"eventsim.{event.kind}")
+                handlers[event.kind](event)
+        finally:
+            # Build the result even when a handler raised (e.g. a
+            # MonitorAbort escalated by a health monitor) so callers can
+            # still read the rounds completed up to that point.
+            self.result = EventSimulation(
+                edge_rounds=self._edge_records,
+                cloud_rounds=self._cloud_records,
+            )
         return self.result
 
     # ------------------------------------------------------------------
@@ -571,6 +577,35 @@ class EventLoopRunner:
             )
         )
 
+        monitor = get_monitor()
+        if monitor.enabled:
+            # Quorum wait: how long the round held its first arrival
+            # before enough fresh uploads closed it.
+            wait = (start - min(fresh.values())) if fresh else None
+            data = {
+                "group": group,
+                "round": round_index,
+                "fresh": len(included),
+                "members": len(self.groups[group]),
+                "staleness": [int(s) for _, s in stale_pairs],
+                "forced": bool(event.data.get("forced")),
+                "dark": dark,
+                "receivers": len(receivers),
+                "transfers": int(pending),
+            }
+            if wait is not None:
+                data["quorum_wait"] = float(wait)
+            hook = getattr(self.client, "monitor_round_data", None)
+            if hook is not None:
+                data.update(hook(group, round_index))
+            monitor.emit(
+                "edge_round",
+                iteration=min(round_index * self.tau, self.total_iterations),
+                tier="cloud" if self.flat else "edge",
+                sim_time=float(finish),
+                **data,
+            )
+
         self._fresh[group] = {}
         self._lost[group] = set()
         self._pending_transfers[group] = 0
@@ -622,6 +657,20 @@ class EventLoopRunner:
                 stale_uploads=tuple(int(w) for w in stale_ids),
             )
         )
+        monitor = get_monitor()
+        if monitor.enabled:
+            monitor.emit(
+                "cloud_round",
+                iteration=min(
+                    index * self.tau * self.pi, self.total_iterations
+                ),
+                tier="cloud",
+                sim_time=float(finish),
+                round=index,
+                edges=self.num_groups,
+                stale_uploads=len(stale_ids),
+                receivers=len(all_receivers),
+            )
         for group in range(self.num_groups):
             self._stale_since_cloud[group] = set()
             boundary = self._next_round[group] - 1

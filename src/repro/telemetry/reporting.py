@@ -134,6 +134,15 @@ def _fault_section(fault_summary: dict, lines: list[str]) -> None:
         lines.extend(_format_rows(["event", "count"], rows))
     else:
         lines.append("(no fault events realized)")
+    stale = fault_summary.get("stale_uploads")
+    if stale:
+        lines.append(
+            "stale uploads: "
+            f"{stale.get('uploads', 0)} "
+            f"(from {len(stale.get('workers', ()))} workers) across "
+            f"{stale.get('rounds_with_stale', 0)} of "
+            f"{stale.get('cloud_rounds', 0)} cloud rounds"
+        )
 
 
 def _top_spans_section(tracer: Tracer, k: int, lines: list[str]) -> None:

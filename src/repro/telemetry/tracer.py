@@ -252,7 +252,6 @@ class Tracer:
         self._epoch = clock()
         self.max_records = int(max_records)
         self.records: list[SpanRecord] = []
-        self.dropped = 0
         self.span_stats: dict[str, SpanStats] = {}
         self.counters: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
@@ -284,11 +283,18 @@ class Tracer:
         if len(self.records) < self.max_records:
             self.records.append(record)
         else:
-            self.dropped += 1
+            # Counted rather than silently discarded: the drop total
+            # travels with the counters into summaries and reports.
+            self.count("telemetry.dropped")
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Span records discarded after ``max_records`` was reached."""
+        return int(self.counters.get("telemetry.dropped", 0))
+
     @property
     def active_span(self) -> str | None:
         """Name of the innermost span currently open (None outside spans)."""

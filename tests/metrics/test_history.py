@@ -52,6 +52,42 @@ class TestTimeToAccuracy:
         assert history.iterations_to_accuracy(0.95) == 30
 
 
+class TestTimeToAccuracyEdgeCases:
+    def test_time_reached_and_never_reached(self, history):
+        history.eval_times = [0.0, 1.5, 3.0, 4.5]
+        assert history.time_to_accuracy(0.9) == 3.0
+        assert history.time_to_accuracy(0.99) is None
+
+    def test_time_requires_time_axis(self, history):
+        # Lockstep runs leave eval_times empty: asking for wall-clock
+        # time-to-accuracy must fail loudly, not silently return None.
+        with pytest.raises(ValueError, match="no simulated time axis"):
+            history.time_to_accuracy(0.5)
+
+    def test_time_requires_aligned_axis(self, history):
+        history.eval_times = [0.0, 1.0]  # shorter than iterations
+        with pytest.raises(ValueError, match="no simulated time axis"):
+            history.time_to_accuracy(0.5)
+
+    def test_non_monotone_accuracy_first_crossing(self):
+        h = TrainingHistory("x")
+        for t, acc in [(0, 0.2), (10, 0.8), (20, 0.4), (30, 0.9)]:
+            h.record_eval(t, acc, 1.0 - acc, 1.0 - acc)
+        h.eval_times = [0.0, 2.0, 4.0, 6.0]
+        # The first crossing wins even though accuracy later dips.
+        assert h.iterations_to_accuracy(0.7) == 10
+        assert h.time_to_accuracy(0.7) == 2.0
+        # A target only the late rebound reaches reports the rebound.
+        assert h.iterations_to_accuracy(0.85) == 30
+        assert h.time_to_accuracy(0.85) == 6.0
+
+    def test_empty_history(self):
+        h = TrainingHistory("x")
+        assert h.iterations_to_accuracy(0.1) is None
+        # Empty eval_times aligns with empty iterations: no crossing.
+        assert h.time_to_accuracy(0.1) is None
+
+
 class TestSerialization:
     def test_curve_arrays(self, history):
         iterations, accuracy = history.accuracy_curve()

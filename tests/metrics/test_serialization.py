@@ -45,6 +45,30 @@ class TestRoundtrip:
         payload = history_to_dict(history)
         json.dumps(payload)  # must not raise
 
+    def test_eval_times_roundtrip(self, history):
+        history.eval_times = [0.0, 12.5]
+        restored = history_from_dict(history_to_dict(history))
+        assert restored.eval_times == [0.0, 12.5]
+        # The restored time axis must stay usable by time_to_accuracy.
+        assert restored.time_to_accuracy(0.5) == 12.5
+
+    def test_eval_times_default_empty(self, history):
+        payload = history_to_dict(history)
+        assert payload["eval_times"] == []
+        # Payloads written before eval_times existed still load.
+        payload.pop("eval_times")
+        restored = history_from_dict(payload)
+        assert restored.eval_times == []
+
+    def test_alerts_and_aborted_by_roundtrip(self, history):
+        history.alerts = [
+            {"monitor": "plateau", "severity": "warning", "message": "m"}
+        ]
+        history.aborted_by = "divergence"
+        restored = history_from_dict(history_to_dict(history))
+        assert restored.alerts == history.alerts
+        assert restored.aborted_by == "divergence"
+
     def test_numpy_values_coerced(self):
         h = TrainingHistory("x")
         h.record_eval(np.int64(5), np.float64(0.5), 0.1, 0.1)

@@ -1,0 +1,135 @@
+"""Tests for the monitoring hub and active-instance plumbing."""
+
+import math
+
+import pytest
+
+from repro.monitoring import (
+    ALERT,
+    EVAL,
+    RUN_END,
+    DivergenceMonitor,
+    MonitorAbort,
+    NULL_MONITOR,
+    PlateauMonitor,
+    RingBufferSink,
+    RunMonitor,
+    get_monitor,
+    monitoring,
+    set_monitor,
+)
+
+pytestmark = pytest.mark.monitoring
+
+
+class TestEmit:
+    def test_sequenced_fan_out(self):
+        sink_a, sink_b = RingBufferSink(), RingBufferSink()
+        hub = RunMonitor(sinks=[sink_a, sink_b])
+        hub.emit("run_start", algorithm="X")
+        hub.emit(EVAL, iteration=10, accuracy=0.5)
+        for sink in (sink_a, sink_b):
+            events = sink.snapshot()
+            assert [e.kind for e in events] == ["run_start", EVAL]
+            assert [e.seq for e in events] == [0, 1]
+        assert events[1].data == {"accuracy": 0.5}
+
+    def test_wall_time_monotone(self):
+        hub = RunMonitor(sinks=[sink := RingBufferSink()])
+        hub.emit(EVAL)
+        hub.emit(EVAL)
+        first, second = sink.snapshot()
+        assert 0.0 <= first.wall_time <= second.wall_time
+
+    def test_eval_folds_gauges(self):
+        hub = RunMonitor()
+        hub.emit(EVAL, iteration=20, accuracy=0.8, test_loss=0.3,
+                 total_bytes=1024.0)
+        assert hub.registry.gauge("repro_test_accuracy") == 0.8
+        assert hub.registry.gauge("repro_iteration") == 20
+        assert hub.registry.gauge("repro_total_bytes") == 1024.0
+        assert hub.registry.counter(
+            "repro_events_total", labels={"kind": EVAL}
+        ) == 1
+
+    def test_round_folds_counters_and_gammas(self):
+        hub = RunMonitor()
+        hub.emit("edge_round", tier="edge", gammas={"0": 0.5, "1": 0.25},
+                 forced=True, staleness=[1, 2])
+        hub.emit("cloud_round", tier="cloud", stale_uploads=3)
+        registry = hub.registry
+        assert registry.counter("repro_rounds_total", labels={"tier": "edge"}) == 1
+        assert registry.counter("repro_rounds_total", labels={"tier": "cloud"}) == 1
+        assert registry.gauge("repro_gamma", labels={"edge": "1"}) == 0.25
+        assert registry.counter("repro_forced_closures_total") == 1
+        assert registry.counter("repro_stale_folds_total") == 2
+        assert registry.counter("repro_stale_uploads_total") == 3
+
+
+class TestAlerts:
+    def test_alert_recorded_and_dispatched(self):
+        sink = RingBufferSink()
+        hub = RunMonitor(
+            sinks=[sink], monitors=[PlateauMonitor(patience=1)]
+        )
+        hub.emit(EVAL, iteration=0, accuracy=0.5)
+        hub.emit(EVAL, iteration=10, accuracy=0.5)
+        assert len(hub.alerts) == 1
+        assert hub.alerts[0].monitor == "plateau"
+        kinds = [e.kind for e in sink.snapshot()]
+        assert kinds == [EVAL, EVAL, ALERT]
+        assert hub.registry.counter(
+            "repro_alerts_total", labels={"monitor": "plateau"}
+        ) == 1
+
+    def test_aborting_monitor_escalates(self):
+        hub = RunMonitor(monitors=[DivergenceMonitor(abort=True)])
+        with pytest.raises(MonitorAbort) as excinfo:
+            hub.emit(EVAL, iteration=5, train_loss=math.inf)
+        assert excinfo.value.alert.monitor == "divergence"
+        # The alert is still on record despite the escalation.
+        assert len(hub.alerts) == 1
+
+    def test_run_end_never_escalates(self):
+        from repro.monitoring import HealthMonitor
+
+        class AlwaysAlert(HealthMonitor):
+            name = "always"
+
+            def observe(self, event):
+                return self._alert(event, "fired")
+
+        hub = RunMonitor(monitors=[AlwaysAlert(abort=True)])
+        hub.emit(RUN_END, status="finished")  # must not raise
+        assert len(hub.alerts) == 1
+
+
+class TestActiveInstance:
+    def test_default_is_null(self):
+        assert get_monitor() is NULL_MONITOR
+        assert NULL_MONITOR.enabled is False
+        assert NULL_MONITOR.emit(EVAL, accuracy=1.0) is None
+        NULL_MONITOR.close()  # no-op
+
+    def test_set_and_reset(self):
+        hub = RunMonitor()
+        previous = set_monitor(hub)
+        try:
+            assert get_monitor() is hub
+        finally:
+            set_monitor(previous)
+        assert get_monitor() is NULL_MONITOR
+
+    def test_context_manager_installs_and_restores(self):
+        sink = RingBufferSink()
+        with monitoring(sinks=[sink]) as hub:
+            assert get_monitor() is hub
+            get_monitor().emit(EVAL, accuracy=0.1)
+        assert get_monitor() is NULL_MONITOR
+        assert sink.emitted == 1
+
+    def test_context_manager_restores_on_abort(self):
+        with pytest.raises(MonitorAbort):
+            with monitoring(monitors=[DivergenceMonitor(abort=True)]) as hub:
+                hub.emit(EVAL, train_loss=math.inf)
+        assert get_monitor() is NULL_MONITOR

@@ -1,0 +1,72 @@
+"""Tests for the metrics registry and its Prometheus exposition."""
+
+import pytest
+
+from repro.monitoring import MetricsRegistry
+
+pytestmark = pytest.mark.monitoring
+
+
+class TestGaugesAndCounters:
+    def test_gauge_holds_latest(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("repro_test_accuracy", 0.5)
+        registry.set_gauge("repro_test_accuracy", 0.7)
+        assert registry.gauge("repro_test_accuracy") == 0.7
+
+    def test_unset_gauge_is_none(self):
+        assert MetricsRegistry().gauge("missing") is None
+
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc_counter("repro_events_total")
+        registry.inc_counter("repro_events_total", 2)
+        assert registry.counter("repro_events_total") == 3
+
+    def test_unset_counter_is_zero(self):
+        assert MetricsRegistry().counter("missing") == 0.0
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().inc_counter("x", -1)
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("repro_gamma", 0.5, labels={"edge": "0"})
+        registry.set_gauge("repro_gamma", 0.25, labels={"edge": "1"})
+        assert registry.gauge("repro_gamma", labels={"edge": "0"}) == 0.5
+        assert registry.gauge("repro_gamma", labels={"edge": "1"}) == 0.25
+
+    def test_label_order_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.inc_counter("x", labels={"a": 1, "b": 2})
+        assert registry.counter("x", labels={"b": 2, "a": 1}) == 1
+
+
+class TestExposition:
+    def test_format(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("repro_test_accuracy", 0.875)
+        registry.inc_counter("repro_events_total", 4, labels={"kind": "eval"})
+        text = registry.exposition()
+        assert "# TYPE repro_test_accuracy gauge\n" in text
+        assert "repro_test_accuracy 0.875\n" in text
+        assert "# TYPE repro_events_total counter\n" in text
+        assert 'repro_events_total{kind="eval"} 4\n' in text
+
+    def test_gauges_precede_counters(self):
+        registry = MetricsRegistry()
+        registry.inc_counter("a_counter")
+        registry.set_gauge("z_gauge", 1.0)
+        text = registry.exposition()
+        assert text.index("z_gauge") < text.index("a_counter")
+
+    def test_empty_registry(self):
+        assert MetricsRegistry().exposition() == ""
+
+    def test_snapshot_series_strings(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("repro_gamma", 0.5, labels={"edge": "0"})
+        snap = registry.snapshot()
+        assert snap["gauges"] == {'repro_gamma{edge="0"}': 0.5}
+        assert snap["counters"] == {}

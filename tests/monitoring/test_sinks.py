@@ -1,0 +1,93 @@
+"""Tests for event sinks and the JSONL stream loader."""
+
+import pytest
+
+from repro.monitoring import (
+    EVAL,
+    CallbackSink,
+    EventSink,
+    JSONLStreamSink,
+    RingBufferSink,
+    RunEvent,
+    load_events_jsonl,
+)
+
+pytestmark = pytest.mark.monitoring
+
+
+def make_events(n):
+    return [RunEvent(kind=EVAL, seq=i, iteration=i) for i in range(n)]
+
+
+class TestRingBuffer:
+    def test_keeps_last_capacity(self):
+        sink = RingBufferSink(capacity=3)
+        for event in make_events(5):
+            sink.emit(event)
+        assert [e.seq for e in sink.snapshot()] == [2, 3, 4]
+        assert sink.emitted == 5
+        assert sink.dropped == 2
+
+    def test_no_drops_below_capacity(self):
+        sink = RingBufferSink(capacity=10)
+        for event in make_events(4):
+            sink.emit(event)
+        assert sink.dropped == 0
+        assert len(sink.snapshot()) == 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJSONLStream:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JSONLStreamSink(path)
+        events = make_events(3)
+        for event in events:
+            sink.emit(event)
+        # Line-buffered: complete records are on disk before close.
+        assert load_events_jsonl(path) == events
+        sink.close()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JSONLStreamSink(tmp_path / "run.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit(make_events(1)[0])
+
+    def test_partial_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JSONLStreamSink(path)
+        events = make_events(2)
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        # Simulate a writer caught mid-emit by a concurrent reader.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind":"eval","se')
+        assert load_events_jsonl(path) == events
+
+
+class TestCallback:
+    def test_forwards_events(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        for event in make_events(2):
+            sink.emit(event)
+        assert [e.seq for e in seen] == [0, 1]
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            CallbackSink(42)
+
+
+class TestBase:
+    def test_emit_abstract(self):
+        with pytest.raises(NotImplementedError):
+            EventSink().emit(make_events(1)[0])
+
+    def test_close_noop(self):
+        EventSink().close()  # must not raise

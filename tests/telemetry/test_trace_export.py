@@ -92,6 +92,34 @@ class TestReportRendering:
         assert "communication ledger" not in text
         assert "per-phase wall clock" in text
 
+    def test_report_surfaces_dropped_records(self):
+        tracer = Tracer(max_records=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        text = format_trace_report(tracer)
+        # Both the cap notice and the counter itself are printed.
+        assert "3 records dropped" in text
+        assert "telemetry.dropped = 3" in text
+
+    def test_report_prints_stale_upload_tally(self):
+        history = TrainingHistory(algorithm="AsyncHierAdMo", config={})
+        history.fault_summary = {
+            "rounds": {"total": 6},
+            "events": {},
+            "stale_uploads": {
+                "uploads": 14,
+                "cloud_rounds": 6,
+                "rounds_with_stale": 5,
+                "workers": [0, 1, 3],
+            },
+        }
+        text = format_trace_report(_traced_tracer(), history)
+        assert (
+            "stale uploads: 14 (from 3 workers) across 5 of 6 cloud rounds"
+            in text
+        )
+
     def test_format_bytes_units(self):
         assert format_bytes(512) == "512 B"
         assert format_bytes(2048) == "2.00 KiB"

@@ -83,3 +83,44 @@ class TestCommands:
         assert "cloud_agg" in names
         # The CLI restores the null tracer after the traced run.
         assert not get_tracer().enabled
+
+
+@pytest.mark.monitoring
+class TestMonitorCommands:
+    def run_monitored(self, tmp_path, capsys):
+        stream = tmp_path / "run.jsonl"
+        code = main(
+            ["run", "--algorithm", "HierAdMo", "--monitor", str(stream)]
+            + FAST
+        )
+        assert code == 0
+        capsys.readouterr()  # drop the run output
+        return stream
+
+    def test_run_monitor_writes_stream(self, tmp_path, capsys):
+        from repro.monitoring import get_monitor, load_events_jsonl
+
+        stream = self.run_monitored(tmp_path, capsys)
+        events = load_events_jsonl(stream)
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert "eval" in kinds and "edge_round" in kinds
+        # The CLI restores the null monitor after the run.
+        assert not get_monitor().enabled
+
+    def test_monitor_once_renders_dashboard(self, tmp_path, capsys):
+        stream = self.run_monitored(tmp_path, capsys)
+        assert main(["monitor", "--once", str(stream)]) == 0
+        out = capsys.readouterr().out
+        # Header, accuracy sparkline, byte rates, rounds and alert panel.
+        assert "HierAdMo · finished · iter 8/8" in out
+        assert "accuracy" in out and "latest" in out
+        assert "worker→edge" in out
+        assert "total" in out
+        assert "rounds: edge" in out
+        assert "alerts" in out
+
+    def test_monitor_once_missing_stream(self, tmp_path):
+        with pytest.raises(SystemExit, match="no event stream"):
+            main(["monitor", "--once", str(tmp_path / "absent.jsonl")])

@@ -1,19 +1,24 @@
-"""Tests for the repo tooling (docs generator)."""
+"""Tests for the repo tooling (docs generator, bench gate checker)."""
 
 import importlib.util
+import json
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 
 
-def load_gen_api_doc():
+def load_tool(name):
     spec = importlib.util.spec_from_file_location(
-        "gen_api_doc", REPO / "tools" / "gen_api_doc.py"
+        name, REPO / "tools" / f"{name}.py"
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def load_gen_api_doc():
+    return load_tool("gen_api_doc")
 
 
 class TestGenApiDoc:
@@ -40,3 +45,67 @@ class TestGenApiDoc:
         for row in rows:
             summary = row.rsplit("|", 2)[-2].strip()
             assert summary and summary != "(no docstring)", row
+
+
+class TestCheckBench:
+    """Tier-1 smoke: the committed BENCH files pass their own gates."""
+
+    def test_committed_baselines_pass(self, capsys):
+        tool = load_tool("check_bench")
+        assert tool.main([]) == 0
+        assert "bench gates OK" in capsys.readouterr().out
+
+    def test_gated_files_exist_and_have_entries(self):
+        tool = load_tool("check_bench")
+        for stem, entries in tool.GATES.items():
+            path = REPO / f"BENCH_{stem}.json"
+            assert path.exists(), f"missing committed {path.name}"
+            recorded = json.loads(path.read_text())["entries"]
+            for entry in entries:
+                assert entry in recorded, f"{path.name} lacks {entry!r}"
+
+    def test_regression_fails(self, tmp_path, capsys):
+        tool = load_tool("check_bench")
+        fresh = tmp_path / "fresh"
+        fresh.mkdir()
+        document = json.loads((REPO / "BENCH_monitor.json").read_text())
+        # >20% throughput drop on a higher-better key must trip the gate.
+        entry = document["entries"]["jsonl_sink_throughput"]
+        entry["events_per_sec"] = entry["events_per_sec"] * 0.5
+        (fresh / "BENCH_monitor.json").write_text(json.dumps(document))
+        assert tool.main(["--fresh", str(fresh)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        assert "jsonl_sink_throughput" in captured.err
+
+    def test_threshold_breach_fails(self, tmp_path, capsys):
+        tool = load_tool("check_bench")
+        fresh = tmp_path / "fresh"
+        fresh.mkdir()
+        document = json.loads((REPO / "BENCH_monitor.json").read_text())
+        entry = document["entries"]["null_monitor_overhead"]
+        entry["disabled_overhead"] = entry["threshold"] * 2
+        (fresh / "BENCH_monitor.json").write_text(json.dumps(document))
+        assert tool.main(["--fresh", str(fresh)]) == 1
+        assert "exceeds the committed threshold" in capsys.readouterr().err
+
+    def test_small_drop_within_tolerance_passes(self, tmp_path):
+        tool = load_tool("check_bench")
+        fresh = tmp_path / "fresh"
+        fresh.mkdir()
+        document = json.loads((REPO / "BENCH_monitor.json").read_text())
+        entry = document["entries"]["jsonl_sink_throughput"]
+        entry["events_per_sec"] = entry["events_per_sec"] * 0.9
+        (fresh / "BENCH_monitor.json").write_text(json.dumps(document))
+        assert tool.main(["--fresh", str(fresh)]) == 0
+
+    def test_missing_entries_skip_not_fail(self, tmp_path, capsys):
+        tool = load_tool("check_bench")
+        fresh = tmp_path / "fresh"
+        fresh.mkdir()
+        (fresh / "BENCH_monitor.json").write_text(
+            json.dumps({"bench": "monitor", "entries": {}})
+        )
+        assert tool.main(["--fresh", str(fresh)]) == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
