@@ -20,12 +20,15 @@ The gradient oracle comes in two backends.  :meth:`Federation.gradient`
 runs one worker's pass through the shared model; the hot path is
 :meth:`Federation.gradient_all`, which evaluates *all* workers in one
 batched program over a leading worker axis (see
-:mod:`repro.nn.batched`) and falls back to the per-worker loop for
-models that cannot be lowered (conv stacks, batch norm, live dropout)
-or on heterogeneous per-worker batch shapes.  ``backend=`` selects the
-behaviour: ``"auto"`` (default) batches when possible, ``"loop"``
-forces the per-worker loop, ``"batched"`` raises if the model cannot
-be lowered.
+:mod:`repro.nn.batched` — the whole Table II zoo lowers, including the
+conv/pool/batch-norm families) and falls back to the per-worker loop
+for models that cannot be lowered (live dropout, custom losses/modules)
+or on heterogeneous per-worker batch shapes; the fallback reason is
+recorded on :attr:`Federation.lowering_reason` and counted on the
+tracer (``worker_step.backend.fallback.<reason>``).  ``backend=``
+selects the behaviour: ``"auto"`` (default) batches when possible,
+``"loop"`` forces the per-worker loop, ``"batched"`` raises if the
+model cannot be lowered.
 """
 
 from __future__ import annotations
@@ -104,17 +107,21 @@ class Federation:
                 f"backend must be 'auto', 'batched' or 'loop', got {backend!r}"
             )
         self._engine = None
+        self.lowering_reason: str | None = None
         if backend != "loop":
-            program = lower_supervised_model(model)
-            if program is not None and self._stackable():
+            program, reason = lower_supervised_model(model, explain=True)
+            if program is not None and not self._stackable():
+                program, reason = None, "batches:heterogeneous"
+            if program is not None:
                 self._engine = program
-            elif backend == "batched":
-                raise ValueError(
-                    "backend='batched' but the model cannot be lowered to "
-                    "the batched engine (unsupported layers/loss or "
-                    "heterogeneous per-worker batches); use backend='auto' "
-                    "for transparent fallback"
-                )
+            else:
+                self.lowering_reason = reason
+                if backend == "batched":
+                    raise ValueError(
+                        "backend='batched' but the model cannot be lowered "
+                        f"to the batched engine ({reason}); use "
+                        "backend='auto' for transparent fallback"
+                    )
         # Full-batch samplers always return the same arrays, so their
         # stacked (W, B, ...) tensor is built once and cached.
         self._full_batch_stack: tuple[np.ndarray, np.ndarray] | None = None
@@ -220,6 +227,10 @@ class Federation:
         tracer = get_tracer()
         if tracer.enabled:
             tracer.count("worker_step.backend.loop")
+            if self.lowering_reason is not None:
+                tracer.count(
+                    f"worker_step.backend.fallback.{self.lowering_reason}"
+                )
         workers = range(self.num_workers) if rows is None else rows
         losses = np.empty(len(workers))
         for position, worker in enumerate(workers):

@@ -9,38 +9,65 @@ bookkeeping — the bookkeeping dominates.  This module lowers a
 program** whose tensors carry a leading worker axis:
 
 * forward is one stacked matmul ``(W, B, in) @ (W, in, out)`` per dense
-  layer, with each worker's ``(out, in)`` weight block sliced
-  **zero-copy** out of the stacked parameter matrix (the columns of a
-  C-contiguous ``(W, dim)`` matrix reshape into per-worker weight views
-  without copying — the same trick :class:`~repro.nn.module.FlatParamBuffer`
-  uses within one model);
+  layer — and one stacked ``im2col`` + GEMM per conv layer — with each
+  worker's weight block sliced **zero-copy** out of the stacked
+  parameter matrix (the columns of a C-contiguous ``(W, dim)`` matrix
+  reshape into per-worker weight views without copying — the same trick
+  :class:`~repro.nn.module.FlatParamBuffer` uses within one model);
 * backward writes every worker's flat gradient into the matching row of
   the stacked ``(W, dim)`` gradient matrix in place and returns the
   per-worker batch losses as one ``(W,)`` vector.
 
-Lowering is structural: a flat :class:`~repro.nn.module.Sequential` (or
-bare :class:`~repro.nn.linear.Dense`) of dense layers, elementwise
-activations and no-op dropout, trained with softmax cross-entropy or
-MSE, lowers; anything else (conv/resnet stacks, batch norm, active
-dropout) returns ``None`` and callers keep the per-worker loop.  The
-batched math mirrors the per-worker implementations operation for
-operation — same GEMM shapes per worker slice, same reduction axes —
-so the two backends agree to floating-point roundoff (asserted at
-rtol 1e-10 in the test suite and at rtol 1e-8 over whole golden
-trajectories).
+Lowering is structural and now covers the whole Table II model zoo:
+dense layers, elementwise activations, no-op dropout, ``Conv2d``
+(workers folded into the im2col batch axis), ``MaxPool2d`` /
+``AvgPool2d`` / ``GlobalAvgPool2d`` / ``Flatten`` (parameterless and
+per-image, so the worker axis folds into the batch axis and the
+per-worker layers run verbatim), train-mode ``BatchNorm1d/2d``
+(per-worker-row batch statistics; running-stat updates folded onto the
+shared layer buffers in worker order, exactly as the sequential loop
+would), and ResNet basic blocks (a composite mirroring the residual
+forward/backward).  Anything else returns ``None`` with a
+machine-readable *reason* (``lower_supervised_model(..., explain=True)``)
+— counted on the tracer and debug-logged once — and callers keep the
+per-worker loop.  The batched math mirrors the per-worker
+implementations operation for operation — same GEMM shapes per worker
+slice, same reduction axes — so the two backends agree to
+floating-point roundoff (asserted at rtol 1e-10 in the test suite and
+at rtol 1e-8 over whole golden trajectories).
+
+Divergence contract: rows whose batch loss is non-finite get an all-NaN
+gradient row.  Non-finite *parameter* rows must be filtered out by the
+caller before invoking the program (``Federation.gradient_all`` falls
+back to the loop in that case) — batch-norm models would otherwise fold
+NaN statistics into the shared running buffers that the loop's
+per-worker short-circuit never touches.
 """
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
+from repro.nn.conv import Conv2d
 from repro.nn.dropout import Dropout
-from repro.nn.functional import log_softmax, one_hot, softmax
+from repro.nn.functional import col2im, conv_output_size, im2col, log_softmax, one_hot, softmax
 from repro.nn.linear import Dense
 from repro.nn.losses import MSELoss, SoftmaxCrossEntropyLoss
 from repro.nn.module import Module, Sequential
+from repro.nn.norm import BatchNorm1d, BatchNorm2d, _BatchNorm
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.reshape import Flatten
+from repro.telemetry import get_tracer
 
 __all__ = ["BatchedProgram", "lower_supervised_model"]
+
+logger = logging.getLogger(__name__)
+
+# (module-class-name, reason) pairs already debug-logged; lowering the
+# same unsupported model shape again stays silent.
+_logged_reasons: set[tuple[str, str]] = set()
 
 
 # ----------------------------------------------------------------------
@@ -61,6 +88,7 @@ class _BatchedDense:
         "w_stop",
         "b_start",
         "b_stop",
+        "covered",
         "_w",
         "_params",
         "_grads",
@@ -72,9 +100,11 @@ class _BatchedDense:
         self.out_features = layer.out_features
         self.w_start = offsets[id(layer.weight)]
         self.w_stop = self.w_start + layer.weight.size
+        self.covered = layer.weight.size
         if layer.use_bias:
             self.b_start = offsets[id(layer.bias)]
             self.b_stop = self.b_start + layer.bias.size
+            self.covered += layer.bias.size
         else:
             self.b_start = self.b_stop = None
         self._w = None
@@ -114,6 +144,375 @@ class _BatchedDense:
             )
         self._x = None
         return np.matmul(grad_output, self._w)
+
+
+class _BatchedConv2d:
+    """Conv2d over a leading worker axis (batched im2col + stacked GEMM).
+
+    The worker and image axes fold into im2col's batch axis — one
+    ``im2col`` over ``(R*B, C, H, W)`` produces exactly the R per-worker
+    patch matrices stacked row-block by row-block — and the GEMM against
+    the per-worker weight views runs as one stacked
+    ``(R, B*OH*OW, CKK) @ (R, CKK, F)`` matmul.  The im2col scratch is
+    cached across same-shape forwards, mirroring the per-worker layer.
+    """
+
+    __slots__ = (
+        "in_channels",
+        "out_channels",
+        "kernel_size",
+        "stride",
+        "padding",
+        "w_start",
+        "w_stop",
+        "b_start",
+        "b_stop",
+        "covered",
+        "_w",
+        "_params",
+        "_grads",
+        "_cols",
+        "_x_shape",
+        "_scratch",
+    )
+
+    def __init__(self, layer: Conv2d, offsets: dict[int, int]):
+        self.in_channels = layer.in_channels
+        self.out_channels = layer.out_channels
+        self.kernel_size = layer.kernel_size
+        self.stride = layer.stride
+        self.padding = layer.padding
+        self.w_start = offsets[id(layer.weight)]
+        self.w_stop = self.w_start + layer.weight.size
+        self.covered = layer.weight.size
+        if layer.use_bias:
+            self.b_start = offsets[id(layer.bias)]
+            self.b_stop = self.b_start + layer.bias.size
+            self.covered += layer.bias.size
+        else:
+            self.b_start = self.b_stop = None
+        self._w = None
+        self._params = None
+        self._grads = None
+        self._cols = None
+        self._x_shape = None
+        self._scratch = None
+
+    def bind(self, params: np.ndarray, grads: np.ndarray) -> None:
+        rows = params.shape[0]
+        patch = self.in_channels * self.kernel_size * self.kernel_size
+        self._w = params[:, self.w_start : self.w_stop].reshape(
+            rows, self.out_channels, patch
+        )
+        self._params = params
+        self._grads = grads
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        rows, batch, _, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        out_h = conv_output_size(h, k, s, p)
+        out_w = conv_output_size(w, k, s, p)
+        patch = self.in_channels * k * k
+
+        scratch_shape = (rows * batch * out_h * out_w, patch)
+        if (
+            self._scratch is None
+            or self._scratch.shape != scratch_shape
+            or self._scratch.dtype != x.dtype
+        ):
+            self._scratch = np.empty(scratch_shape, dtype=x.dtype)
+        cols = im2col(
+            x.reshape(rows * batch, self.in_channels, h, w),
+            k, k, s, p, out=self._scratch,
+        )
+        # Worker r's per-worker patch matrix is exactly rows
+        # [r*B*OH*OW, (r+1)*B*OH*OW) of the folded im2col output.
+        cols3 = cols.reshape(rows, batch * out_h * out_w, patch)
+        out = np.matmul(cols3, self._w.transpose(0, 2, 1))
+        if self.b_start is not None:
+            out += self._params[:, self.b_start : self.b_stop][:, None, :]
+
+        self._cols = cols3
+        self._x_shape = (rows, batch, self.in_channels, h, w)
+        return out.reshape(
+            rows, batch, out_h, out_w, self.out_channels
+        ).transpose(0, 1, 4, 2, 3)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        rows, batch, _, out_h, out_w = grad_output.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        patch = self.in_channels * k * k
+
+        # (R, B, F, OH, OW) -> (R, B*OH*OW, F) matching the im2col rows.
+        grad_mat = np.ascontiguousarray(
+            grad_output.transpose(0, 1, 3, 4, 2)
+        ).reshape(rows, batch * out_h * out_w, self.out_channels)
+        grad_w = np.matmul(grad_mat.transpose(0, 2, 1), self._cols)
+        self._grads[:, self.w_start : self.w_stop] = grad_w.reshape(rows, -1)
+        if self.b_start is not None:
+            self._grads[:, self.b_start : self.b_stop] = grad_mat.sum(axis=1)
+
+        grad_cols = np.matmul(grad_mat, self._w)
+        r, b, c, h, w = self._x_shape
+        grad_input = col2im(
+            grad_cols.reshape(-1, patch), (r * b, c, h, w), k, k, s, p
+        )
+        self._cols = None
+        self._x_shape = None
+        return grad_input.reshape(r, b, c, h, w)
+
+
+class _BatchedBatchNorm:
+    """Batch norm over a leading worker axis.
+
+    Default is *train-mode* semantics, matching the gradient oracle
+    (``SupervisedModel.gradient`` always switches the module to training
+    mode): statistics are computed per worker row over that worker's own
+    batch, and the shared layer's running buffers receive the same
+    sequential ``*= (1-m); += m*stat`` updates — in worker order — the
+    per-worker loop applies, so the buffers the next *evaluation* reads
+    agree between backends.  Setting :attr:`frozen` instead normalizes
+    every row with the shared running statistics (inference-mode batch
+    norm, the elementwise-affine adjoint) — used by the gradcheck
+    battery and available to callers that freeze statistics.
+    """
+
+    __slots__ = (
+        "layer",
+        "num_features",
+        "momentum",
+        "eps",
+        "g_start",
+        "g_stop",
+        "b_start",
+        "b_stop",
+        "covered",
+        "frozen",
+        "_axes",
+        "_spatial",
+        "_params",
+        "_grads",
+        "_cache",
+    )
+
+    def __init__(self, layer: _BatchNorm, offsets: dict[int, int]):
+        self.layer = layer  # running-stat buffers live on the shared layer
+        self.num_features = layer.num_features
+        self.momentum = layer.momentum
+        self.eps = layer.eps
+        self.g_start = offsets[id(layer.gamma)]
+        self.g_stop = self.g_start + layer.gamma.size
+        self.b_start = offsets[id(layer.beta)]
+        self.b_stop = self.b_start + layer.beta.size
+        self.covered = layer.gamma.size + layer.beta.size
+        self.frozen = False
+        # (R, B, C) reduces over the batch axis; (R, B, C, H, W) over
+        # batch and space — the per-worker axes shifted by the R axis.
+        self._spatial = isinstance(layer, BatchNorm2d)
+        self._axes = (1, 3, 4) if self._spatial else (1,)
+        self._params = None
+        self._grads = None
+        self._cache = None
+
+    def _bshape(self, rows: int) -> tuple:
+        if self._spatial:
+            return (rows, 1, self.num_features, 1, 1)
+        return (rows, 1, self.num_features)
+
+    def bind(self, params: np.ndarray, grads: np.ndarray) -> None:
+        self._params = params
+        self._grads = grads
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        rows = x.shape[0]
+        shape = self._bshape(rows)
+        if self.frozen:
+            inv_std = 1.0 / np.sqrt(self.layer.running_var + self.eps)
+            inv_std_b = np.broadcast_to(
+                inv_std.reshape(shape[1:]), shape
+            )
+            x_hat = (
+                x - self.layer.running_mean.reshape(shape[1:])
+            ) * inv_std_b
+        else:
+            mean = x.mean(axis=self._axes)  # (R, C)
+            var = x.var(axis=self._axes)
+            count = x[0].size // self.num_features
+            unbiased = var * count / max(count - 1, 1)
+            momentum = self.momentum
+            running_mean = self.layer.running_mean
+            running_var = self.layer.running_var
+            # Same update sequence the per-worker layer applies, folded
+            # in worker order onto the shared buffers.
+            for row in range(rows):
+                running_mean *= 1.0 - momentum
+                running_mean += momentum * mean[row]
+                running_var *= 1.0 - momentum
+                running_var += momentum * unbiased[row]
+            inv_std_b = (1.0 / np.sqrt(var + self.eps)).reshape(shape)
+            x_hat = (x - mean.reshape(shape)) * inv_std_b
+        gamma = self._params[:, self.g_start : self.g_stop].reshape(shape)
+        beta = self._params[:, self.b_start : self.b_stop].reshape(shape)
+        self._cache = (x_hat, inv_std_b)
+        return gamma * x_hat + beta
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x_hat, inv_std_b = self._cache
+        rows = grad_output.shape[0]
+        shape = self._bshape(rows)
+        count = grad_output[0].size // self.num_features
+
+        self._grads[:, self.g_start : self.g_stop] = (
+            grad_output * x_hat
+        ).sum(axis=self._axes)
+        self._grads[:, self.b_start : self.b_stop] = grad_output.sum(
+            axis=self._axes
+        )
+
+        gamma = self._params[:, self.g_start : self.g_stop].reshape(shape)
+        grad_xhat = grad_output * gamma
+        if self.frozen:
+            grad_input = grad_xhat * inv_std_b
+        else:
+            sum_grad = grad_xhat.sum(axis=self._axes, keepdims=True)
+            sum_grad_xhat = (grad_xhat * x_hat).sum(
+                axis=self._axes, keepdims=True
+            )
+            grad_input = (
+                inv_std_b
+                / count
+                * (count * grad_xhat - sum_grad - x_hat * sum_grad_xhat)
+            )
+        self._cache = None
+        return grad_input
+
+
+class _WorkerFold:
+    """Run a parameterless per-image layer with workers folded into batch.
+
+    Pooling and flatten act on each image independently, so stacking the
+    R workers' batches into one ``(R*B, ...)`` batch and running the
+    existing per-worker layer is the *identical* floating-point
+    computation — the fold is pure reshaping.
+    """
+
+    __slots__ = ("_layer", "covered")
+
+    def __init__(self, layer: Module):
+        self._layer = layer
+        self.covered = 0
+
+    def bind(self, params: np.ndarray, grads: np.ndarray) -> None:
+        return None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        rows, batch = x.shape[:2]
+        out = self._layer.forward(
+            x.reshape((rows * batch,) + x.shape[2:])
+        )
+        return out.reshape((rows, batch) + out.shape[1:])
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        rows, batch = grad_output.shape[:2]
+        grad = self._layer.backward(
+            grad_output.reshape(
+                (rows * batch,) + grad_output.shape[2:]
+            )
+        )
+        return grad.reshape((rows, batch) + grad.shape[1:])
+
+
+class _BatchedBasicBlock:
+    """ResNet basic block over a leading worker axis.
+
+    Composes the batched conv/norm/activation counterparts and mirrors
+    :class:`~repro.nn.models.resnet.BasicBlock`'s forward/backward —
+    including the residual add and the gradient fan-in — operation for
+    operation.
+    """
+
+    __slots__ = (
+        "conv1", "bn1", "relu1", "conv2", "bn2", "relu2",
+        "proj_conv", "proj_bn", "covered",
+    )
+
+    def __init__(self, block, offsets: dict[int, int]):
+        self.conv1 = _BatchedConv2d(block.conv1, offsets)
+        self.bn1 = _BatchedBatchNorm(block.bn1, offsets)
+        self.relu1 = _lower_layer(block.relu1, offsets)
+        self.conv2 = _BatchedConv2d(block.conv2, offsets)
+        self.bn2 = _BatchedBatchNorm(block.bn2, offsets)
+        self.relu2 = _lower_layer(block.relu2, offsets)
+        if block.has_projection:
+            self.proj_conv = _BatchedConv2d(block.proj_conv, offsets)
+            self.proj_bn = _BatchedBatchNorm(block.proj_bn, offsets)
+        else:
+            self.proj_conv = None
+            self.proj_bn = None
+        self.covered = sum(
+            child.covered for child in self._children()
+        )
+
+    def _children(self):
+        children = [
+            self.conv1, self.bn1, self.relu1,
+            self.conv2, self.bn2, self.relu2,
+        ]
+        if self.proj_conv is not None:
+            children += [self.proj_conv, self.proj_bn]
+        return children
+
+    def bind(self, params: np.ndarray, grads: np.ndarray) -> None:
+        for child in self._children():
+            child.bind(params, grads)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.relu1.forward(self.bn1.forward(self.conv1.forward(x)))
+        out = self.bn2.forward(self.conv2.forward(out))
+        if self.proj_conv is not None:
+            shortcut = self.proj_bn.forward(self.proj_conv.forward(x))
+        else:
+            shortcut = x
+        return self.relu2.forward(out + shortcut)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.relu2.backward(grad_output)
+        grad_main = self.conv1.backward(
+            self.relu1.backward(
+                self.bn1.backward(
+                    self.conv2.backward(self.bn2.backward(grad))
+                )
+            )
+        )
+        if self.proj_conv is not None:
+            grad_skip = self.proj_conv.backward(self.proj_bn.backward(grad))
+        else:
+            grad_skip = grad
+        return grad_main + grad_skip
+
+
+class _BatchedChain:
+    """A lowered nested ``Sequential``: run children in order."""
+
+    __slots__ = ("layers", "covered")
+
+    def __init__(self, layers: list):
+        self.layers = layers
+        self.covered = sum(layer.covered for layer in layers)
+
+    def bind(self, params: np.ndarray, grads: np.ndarray) -> None:
+        for layer in self.layers:
+            layer.bind(params, grads)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
 
 
 # ----------------------------------------------------------------------
@@ -201,10 +600,12 @@ class BatchedProgram:
         """One batched forward/backward; returns per-worker losses.
 
         ``params``/``grads`` are aligned ``(R, dim)`` matrices; ``xs``
-        is the stacked ``(R, B, features)`` input and ``ys`` the stacked
+        is the stacked ``(R, B, ...)`` input and ``ys`` the stacked
         ``(R, B)`` targets.  Every gradient row is written in place.
         Rows whose batch loss is non-finite get an all-NaN gradient,
-        matching the per-worker oracle's divergence short-circuit.
+        matching the per-worker oracle's divergence short-circuit;
+        non-finite *parameter* rows are the caller's job to filter out
+        beforehand (batch-norm statistics are a shared side effect).
         """
         with np.errstate(over="ignore", invalid="ignore"):
             for layer in self.layers:
@@ -228,10 +629,11 @@ class BatchedProgram:
 class _Bindable:
     """Adapter giving stateless elementwise layers a no-op ``bind``."""
 
-    __slots__ = ("_layer",)
+    __slots__ = ("_layer", "covered")
 
     def __init__(self, layer: Module):
         self._layer = layer
+        self.covered = 0
 
     def bind(self, params: np.ndarray, grads: np.ndarray) -> None:
         return None
@@ -244,7 +646,7 @@ class _Bindable:
 
 
 # Elementwise layers are shape-agnostic: the exact per-worker classes
-# run unchanged on (R, B, features) tensors, so lowering just wraps a
+# run unchanged on (R, B, ...) tensors, so lowering just wraps a
 # fresh instance (identical math, identical numerics).
 _ELEMENTWISE = ("ReLU", "LeakyReLU", "Sigmoid", "Tanh")
 
@@ -253,6 +655,18 @@ def _lower_layer(layer: Module, offsets: dict[int, int]):
     """One layer's batched counterpart, or ``None`` if unsupported."""
     if isinstance(layer, Dense):
         return _BatchedDense(layer, offsets)
+    if isinstance(layer, Conv2d):
+        return _BatchedConv2d(layer, offsets)
+    if isinstance(layer, _BatchNorm):
+        return _BatchedBatchNorm(layer, offsets)
+    if isinstance(layer, MaxPool2d):
+        return _WorkerFold(MaxPool2d(layer.kernel_size, layer.stride))
+    if isinstance(layer, AvgPool2d):
+        return _WorkerFold(AvgPool2d(layer.kernel_size, layer.stride))
+    if isinstance(layer, GlobalAvgPool2d):
+        return _WorkerFold(GlobalAvgPool2d())
+    if isinstance(layer, Flatten):
+        return _WorkerFold(Flatten())
     name = type(layer).__name__
     if name in _ELEMENTWISE:
         clone = type(layer).__new__(type(layer))
@@ -269,31 +683,62 @@ def _lower_layer(layer: Module, offsets: dict[int, int]):
         # p=0 dropout is the identity in both modes; lowering it keeps
         # the two backends consuming identical RNG streams (none).
         return _Bindable(Dropout(0.0))
+    if isinstance(layer, Sequential):
+        lowered = [_lower_layer(child, offsets) for child in layer.layers]
+        if any(child is None for child in lowered):
+            return None
+        return _BatchedChain(lowered)
+    # ResNet's residual block (imported lazily: models sit above nn).
+    from repro.nn.models.resnet import BasicBlock
+
+    if isinstance(layer, BasicBlock):
+        return _BatchedBasicBlock(layer, offsets)
     return None
 
 
-def lower_supervised_model(model) -> BatchedProgram | None:
-    """Lower ``model`` to a :class:`BatchedProgram`, or ``None``.
+def _unsupported_layer_reason(layer: Module) -> str:
+    """Machine-readable reason tag for a layer that failed to lower."""
+    if isinstance(layer, Dropout):
+        return "layer:Dropout(p>0)"
+    return f"layer:{type(layer).__name__}"
 
-    A model lowers when its module is a flat :class:`Sequential` (or a
-    bare :class:`Dense`) of supported layers, its loss is softmax
-    cross-entropy or MSE, and the lowered dense layers cover every
-    parameter (so the batched backward fills the whole gradient row).
-    """
+
+def _note_unsupported(model, reason: str) -> None:
+    """Surface a lowering fallback: tracer counter + one-time debug log."""
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count(f"batched.lower.unsupported.{reason}")
+    key = (type(model.module).__name__, reason)
+    if key not in _logged_reasons:
+        _logged_reasons.add(key)
+        logger.debug(
+            "batched lowering unsupported for %s: %s "
+            "(falling back to the per-worker loop)",
+            type(model.module).__name__,
+            reason,
+        )
+
+
+def _lower_model(model) -> tuple[BatchedProgram | None, str | None]:
+    """Lowering core: ``(program, None)`` or ``(None, reason)``."""
     module = model.module
     if isinstance(module, Sequential):
         stack = list(module.layers)
     elif isinstance(module, Dense):
         stack = [module]
+    elif hasattr(module, "batched_stack"):
+        # Composite bodies (e.g. the ResNet trunk) expose their layer
+        # pipeline explicitly for the lowering walk.
+        stack = list(module.batched_stack())
     else:
-        return None
+        return None, f"module:{type(module).__name__}"
 
     if isinstance(model.loss_fn, SoftmaxCrossEntropyLoss):
         loss = _BatchedSoftmaxCE()
     elif isinstance(model.loss_fn, MSELoss):
         loss = _BatchedMSE()
     else:
-        return None
+        return None, f"loss:{type(model.loss_fn).__name__}"
 
     offsets: dict[int, int] = {}
     cursor = 0
@@ -306,14 +751,35 @@ def lower_supervised_model(model) -> BatchedProgram | None:
     for layer in stack:
         lowered = _lower_layer(layer, offsets)
         if lowered is None:
-            return None
-        if isinstance(lowered, _BatchedDense):
-            covered += lowered.w_stop - lowered.w_start
-            if lowered.b_start is not None:
-                covered += lowered.b_stop - lowered.b_start
+            return None, _unsupported_layer_reason(layer)
+        covered += lowered.covered
         layers.append(lowered)
     if covered != cursor:
-        # Some parameter lives outside the lowered dense layers; the
-        # batched backward would leave its gradient stale.
-        return None
-    return BatchedProgram(model, layers, loss)
+        # Some parameter lives outside the lowered layers; the batched
+        # backward would leave its gradient stale.
+        return None, "params:uncovered"
+    return BatchedProgram(model, layers, loss), None
+
+
+def lower_supervised_model(model, *, explain: bool = False):
+    """Lower ``model`` to a :class:`BatchedProgram`, or ``None``.
+
+    A model lowers when its module is a flat :class:`Sequential` (or a
+    bare :class:`Dense`, or a composite exposing ``batched_stack()``)
+    of supported layers, its loss is softmax cross-entropy or MSE, and
+    the lowered layers cover every parameter (so the batched backward
+    fills the whole gradient row).
+
+    With ``explain=True`` returns ``(program, reason)`` where ``reason``
+    is ``None`` on success and a machine-readable tag otherwise
+    (``module:<Type>``, ``loss:<Type>``, ``layer:<Type>``,
+    ``layer:Dropout(p>0)``, ``params:uncovered``).  Every failed
+    lowering also bumps the ``batched.lower.unsupported.<reason>``
+    tracer counter and emits a one-time debug log.
+    """
+    program, reason = _lower_model(model)
+    if reason is not None:
+        _note_unsupported(model, reason)
+    if explain:
+        return program, reason
+    return program

@@ -51,11 +51,13 @@ def im2col(
     out_w = conv_output_size(w, kernel_w, stride, padding)
 
     if padding > 0:
-        x = np.pad(
-            x,
-            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant",
+        # Manual zero-padding: np.pad spends more time in Python
+        # bookkeeping than this hot path can afford.
+        padded = np.zeros(
+            (n, c, h + 2 * padding, w + 2 * padding), dtype=x.dtype
         )
+        padded[:, :, padding:-padding, padding:-padding] = x
+        x = padded
 
     shape = (n * out_h * out_w, c * kernel_h * kernel_w)
     if out is None:

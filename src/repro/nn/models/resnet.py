@@ -116,6 +116,19 @@ class _ResNetBody(Module):
         self.pool = GlobalAvgPool2d()
         self.fc = Dense(channels, num_classes, rng=rng)
 
+    def batched_stack(self) -> list[Module]:
+        """Layer pipeline for the batched-engine lowering.
+
+        The trunk is a straight pipeline once each residual block is
+        treated as one composite layer; exposing it lets
+        :func:`repro.nn.batched.lower_supervised_model` walk the body
+        without knowing its attribute layout.
+        """
+        return [
+            self.stem_conv, self.stem_bn, self.stem_relu,
+            *self.blocks.layers, self.pool, self.fc,
+        ]
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         out = self.stem_relu.forward(
             self.stem_bn.forward(self.stem_conv.forward(x))

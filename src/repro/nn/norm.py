@@ -17,7 +17,13 @@ __all__ = ["BatchNorm1d", "BatchNorm2d"]
 
 
 class _BatchNorm(Module):
-    """Shared implementation; subclasses define which axes are reduced."""
+    """Shared implementation; subclasses define which axes are reduced.
+
+    Training mode normalizes with batch statistics and updates the
+    running buffers; eval mode normalizes with the frozen running
+    statistics and its backward is the elementwise-affine adjoint
+    (gamma/beta gradients plus ``grad * gamma * inv_std``).
+    """
 
     def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
         super().__init__()
@@ -71,16 +77,13 @@ class _BatchNorm(Module):
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean.reshape(shape)) * inv_std.reshape(shape)
         out = self.gamma.data.reshape(shape) * x_hat + self.beta.data.reshape(shape)
-        if self.training:
-            self._cache = (x_hat, inv_std, shape)
+        self._cache = (x_hat, inv_std, shape, self.training)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
-            raise RuntimeError(
-                "backward called before forward (or module in eval mode)"
-            )
-        x_hat, inv_std, shape = self._cache
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, shape, trained = self._cache
         count = grad_output.size // self.num_features
 
         self.gamma.grad += (grad_output * x_hat).sum(axis=self._axes)
@@ -88,6 +91,12 @@ class _BatchNorm(Module):
 
         gamma = self.gamma.data.reshape(shape)
         grad_xhat = grad_output * gamma
+        if not trained:
+            # Eval mode normalizes with *frozen* running statistics, so
+            # the map is elementwise-affine in x: no batch-coupling
+            # terms in the adjoint.
+            self._cache = None
+            return grad_xhat * inv_std.reshape(shape)
         sum_grad = grad_xhat.sum(axis=self._axes).reshape(shape)
         sum_grad_xhat = (grad_xhat * x_hat).sum(axis=self._axes).reshape(shape)
         grad_input = (

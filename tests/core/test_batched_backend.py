@@ -17,7 +17,14 @@ import pytest
 from repro import telemetry
 from repro.core import Federation
 from repro.data import Dataset
-from repro.nn.models import make_cnn, make_logistic_regression, make_mlp
+from repro.nn import Dense, Dropout, Sequential, SupervisedModel
+from repro.nn.models import (
+    make_cnn,
+    make_logistic_regression,
+    make_mlp,
+    make_resnet,
+    make_vgg,
+)
 
 pytestmark = pytest.mark.batched
 
@@ -54,7 +61,7 @@ def _tabular_federation(
     )
 
 
-def _image_federation(backend="auto"):
+def _image_federation(backend="auto", model=None):
     rng = np.random.default_rng(3)
     edges = [
         [
@@ -65,13 +72,24 @@ def _image_federation(backend="auto"):
         ]
     ]
     test = Dataset(rng.normal(size=(8, 1, 8, 8)), rng.integers(0, 4, 8), 4)
+    if model is None:
+        model = make_cnn(1, 8, 4, rng=5)
     return Federation(
-        make_cnn(1, 8, 4, rng=5),
+        model,
         edges,
         test,
         batch_size=6,
         seed=7,
         backend=backend,
+    )
+
+
+def _dropout_model(features=6, classes=3):
+    """Active dropout cannot lower (per-worker RNG streams diverge)."""
+    return SupervisedModel(
+        Sequential(
+            Dense(features, 8, rng=0), Dropout(0.3), Dense(8, classes, rng=1)
+        )
     )
 
 
@@ -86,12 +104,19 @@ class TestBackendSelection:
         fed = _tabular_federation(backend="loop")
         assert fed.gradient_backend == "loop"
 
-    def test_auto_falls_back_for_conv_model(self):
-        assert _image_federation().gradient_backend == "loop"
+    def test_auto_picks_batched_for_conv_model(self):
+        fed = _image_federation()
+        assert fed.gradient_backend == "batched"
+        assert fed.lowering_reason is None
 
-    def test_batched_backend_rejects_conv_model(self):
-        with pytest.raises(ValueError, match="batched"):
-            _image_federation(backend="batched")
+    def test_auto_falls_back_for_dropout_model(self):
+        fed = _tabular_federation(model=_dropout_model())
+        assert fed.gradient_backend == "loop"
+        assert fed.lowering_reason == "layer:Dropout(p>0)"
+
+    def test_batched_backend_rejects_dropout_model(self):
+        with pytest.raises(ValueError, match=r"Dropout\(p>0\)"):
+            _tabular_federation(model=_dropout_model(), backend="batched")
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):
@@ -102,6 +127,80 @@ class TestBackendSelection:
         # clamps: batch shapes differ across workers and cannot stack.
         fed = _tabular_federation(counts=((6, 40), (32,)), batch_size=16)
         assert fed.gradient_backend == "loop"
+        assert fed.lowering_reason == "batches:heterogeneous"
+
+    def test_fallback_reason_counter_emitted(self):
+        fed = _tabular_federation(model=_dropout_model())
+        params = np.zeros((fed.num_workers, fed.dim))
+        out = np.empty_like(params)
+        with telemetry.tracing() as tracer:
+            fed.gradient_all(params, out=out)
+        assert tracer.counters.get("worker_step.backend.loop") == 1
+        assert (
+            tracer.counters.get(
+                "worker_step.backend.fallback.layer:Dropout(p>0)"
+            )
+            == 1
+        )
+
+    def test_forced_loop_emits_no_fallback_counter(self):
+        fed = _tabular_federation(backend="loop")
+        assert fed.lowering_reason is None
+        params = np.zeros((fed.num_workers, fed.dim))
+        out = np.empty_like(params)
+        with telemetry.tracing() as tracer:
+            fed.gradient_all(params, out=out)
+        fallbacks = [
+            key
+            for key in tracer.counters
+            if key.startswith("worker_step.backend.fallback.")
+        ]
+        assert fallbacks == []
+
+
+# ----------------------------------------------------------------------
+# Table II zoo guard: no silent regression to the loop under auto
+# ----------------------------------------------------------------------
+class TestTableTwoZooLowers:
+    """Every image model family of Table II must use the batched engine.
+
+    A lowering regression (a layer falling off the supported set) would
+    silently flip ``backend="auto"`` to the loop and only show up as a
+    slowdown; these guards turn it into a test failure.
+    """
+
+    @pytest.mark.parametrize(
+        "name, factory",
+        [
+            ("cnn", lambda: make_cnn(1, 8, 4, rng=5)),
+            (
+                "vgg16",
+                lambda: make_vgg(
+                    "vgg16", 1, 8, 4, width_multiplier=1 / 16, rng=6
+                ),
+            ),
+            (
+                "resnet18",
+                lambda: make_resnet(
+                    "resnet18", 1, 4, width_multiplier=1 / 16, rng=7
+                ),
+            ),
+        ],
+    )
+    def test_auto_backend_stays_batched(self, name, factory):
+        fed = _image_federation(model=factory())
+        assert fed.gradient_backend == "batched", (
+            f"{name} silently regressed to the loop backend "
+            f"(reason: {fed.lowering_reason})"
+        )
+        params = np.random.default_rng(8).normal(
+            size=(fed.num_workers, fed.dim), scale=0.2
+        )
+        out = np.empty_like(params)
+        with telemetry.tracing() as tracer:
+            fed.gradient_all(params, out=out)
+        assert tracer.counters.get("worker_step.backend.batched") == 1
+        assert tracer.counters.get("worker_step.backend.loop") is None
 
 
 # ----------------------------------------------------------------------

@@ -10,26 +10,39 @@ must be detected so the federation keeps the loop backend.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.nn import (
+    AvgPool2d,
     BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
     Dense,
     Dropout,
+    Flatten,
     Loss,
     MSELoss,
     ReLU,
     Sequential,
     SupervisedModel,
+    Tanh,
 )
+from repro.nn import batched as batched_module
 from repro.nn.batched import BatchedProgram, lower_supervised_model
 from repro.nn.models import (
     make_cnn,
     make_linear_regression,
     make_logistic_regression,
     make_mlp,
+    make_resnet,
+    make_vgg,
 )
+from repro.nn.module import Module, Parameter
+from repro.nn.norm import _BatchNorm
 
 pytestmark = pytest.mark.batched
 
@@ -164,17 +177,162 @@ def test_batched_nan_loss_rows_get_nan_gradients():
 
 
 # ----------------------------------------------------------------------
+# Image-model zoo: conv / pool / norm lowerings vs the loop oracle
+# ----------------------------------------------------------------------
+IMAGE_SIZE = 8
+IMAGE_BATCH = 6
+IMAGE_WORKERS = 4
+
+
+def _custom_conv_model():
+    """Stride-2 unpadded conv + BatchNorm2d + AvgPool2d, off the zoo path."""
+    return SupervisedModel(
+        Sequential(
+            Conv2d(1, 3, 3, stride=2, padding=0, rng=30),
+            BatchNorm2d(3),
+            ReLU(),
+            AvgPool2d(2),
+            Flatten(),
+            Dense(3, CLASSES, rng=31),
+        )
+    )
+
+
+def _mlp_bn_model():
+    return SupervisedModel(
+        Sequential(
+            Dense(FEATURES, 8, rng=32),
+            BatchNorm1d(8),
+            Tanh(),
+            Dense(8, CLASSES, rng=33),
+        ),
+        weight_decay=0.02,
+    )
+
+
+def _image_zoo():
+    """(name, model factory, weight_decay, tabular?) for the image battery."""
+    return [
+        ("cnn", lambda: make_cnn(1, IMAGE_SIZE, CLASSES, width=3, hidden=16, rng=20), 0.0, False),
+        ("cnn_decay", lambda: make_cnn(1, IMAGE_SIZE, CLASSES, width=3, hidden=16, rng=21), 0.03, False),
+        ("vgg16", lambda: make_vgg("vgg16", 1, IMAGE_SIZE, CLASSES, width_multiplier=1 / 16, rng=22), 0.0, False),
+        ("resnet18", lambda: make_resnet("resnet18", 1, CLASSES, width_multiplier=1 / 16, rng=23), 0.0, False),
+        ("conv_stride_bn_avgpool", _custom_conv_model, 0.0, False),
+        ("mlp_bn1d", _mlp_bn_model, None, True),
+    ]
+
+
+def _bn_layers(model):
+    return [
+        layer
+        for layer in model.module.modules()
+        if isinstance(layer, _BatchNorm)
+    ]
+
+
+def _bn_buffers(model):
+    return [layer.get_buffers() for layer in _bn_layers(model)]
+
+
+def _restore_bn_buffers(model, snapshots):
+    for layer, snapshot in zip(_bn_layers(model), snapshots):
+        layer.set_buffers(snapshot)
+
+
+def _image_inputs(rng, tabular, num_workers=IMAGE_WORKERS):
+    if tabular:
+        xs = rng.normal(size=(num_workers, IMAGE_BATCH, FEATURES))
+    else:
+        xs = rng.normal(
+            size=(num_workers, IMAGE_BATCH, 1, IMAGE_SIZE, IMAGE_SIZE)
+        )
+    ys = rng.integers(0, CLASSES, size=(num_workers, IMAGE_BATCH))
+    return xs, ys
+
+
+@pytest.mark.parametrize("rows", [None, (0, 2, 3)], ids=["all", "masked"])
+@pytest.mark.parametrize(
+    "case", _image_zoo(), ids=lambda case: case[0]
+)
+def test_image_zoo_matches_loop_oracle(case, rows):
+    """Conv/pool/norm lowerings agree with the loop at rtol 1e-10.
+
+    Batch-norm models also update the *shared* running-stat buffers; the
+    batched fold in worker order must leave them exactly where the
+    sequential loop does (snapshot before, compare after).
+    """
+    _, factory, weight_decay, tabular = case
+    model = factory()
+    if weight_decay is not None:
+        model.weight_decay = weight_decay
+    program = lower_supervised_model(model)
+    assert isinstance(program, BatchedProgram)
+
+    rng = np.random.default_rng(55)
+    xs, ys = _image_inputs(rng, tabular)
+    params = rng.normal(
+        size=(IMAGE_WORKERS, model.num_params), scale=0.4
+    )
+    if rows is not None:
+        rows = np.array(rows)
+        params, xs, ys = params[rows], xs[rows], ys[rows]
+
+    snapshot = _bn_buffers(model)
+    grads = np.empty_like(params)
+    losses = program.gradient_all(params, xs, ys, grads)
+    batched_buffers = _bn_buffers(model)
+
+    _restore_bn_buffers(model, snapshot)
+    ref_grads, ref_losses = _loop_reference(model, params, xs, ys)
+    loop_buffers = _bn_buffers(model)
+
+    np.testing.assert_allclose(losses, ref_losses, rtol=1e-10, atol=1e-14)
+    np.testing.assert_allclose(grads, ref_grads, rtol=1e-10, atol=1e-14)
+    for got, want in zip(batched_buffers, loop_buffers):
+        for key in ("running_mean", "running_var"):
+            np.testing.assert_allclose(
+                got[key], want[key], rtol=1e-10, atol=1e-14
+            )
+
+
+def test_cnn_nan_loss_rows_get_nan_gradients():
+    """Conv path honors the divergence contract: inf loss => NaN row."""
+    model = make_cnn(1, IMAGE_SIZE, CLASSES, width=3, hidden=16, rng=24)
+    model.loss_fn = MSELoss()  # unbounded loss so huge params overflow
+    program = lower_supervised_model(model)
+    rng = np.random.default_rng(66)
+    xs, ys = _image_inputs(rng, tabular=False)
+    params = rng.normal(size=(IMAGE_WORKERS, model.num_params), scale=0.4)
+    params[2] = 1e200  # finite but the loss overflows to inf
+
+    grads = np.empty_like(params)
+    losses = program.gradient_all(params, xs, ys, grads)
+    assert not np.isfinite(losses[2])
+    assert np.isnan(grads[2]).all()
+    finite = [0, 1, 3]
+    ref_grads, ref_losses = _loop_reference(
+        model, params[finite], xs[finite], ys[finite]
+    )
+    np.testing.assert_allclose(
+        losses[finite], ref_losses, rtol=1e-10, atol=1e-14
+    )
+    np.testing.assert_allclose(
+        grads[finite], ref_grads, rtol=1e-10, atol=1e-14
+    )
+
+
+# ----------------------------------------------------------------------
 # Lowering rules
 # ----------------------------------------------------------------------
-def test_conv_model_does_not_lower():
-    assert lower_supervised_model(make_cnn(1, 8, 5, rng=0)) is None
+def test_conv_model_lowers():
+    assert lower_supervised_model(make_cnn(1, 8, 5, rng=0)) is not None
 
 
-def test_batchnorm_model_does_not_lower():
+def test_batchnorm_model_lowers():
     model = SupervisedModel(
         Sequential(Dense(4, 4, rng=0), BatchNorm1d(4), Dense(4, 2, rng=1))
     )
-    assert lower_supervised_model(model) is None
+    assert lower_supervised_model(model) is not None
 
 
 def test_active_dropout_does_not_lower():
@@ -210,3 +368,125 @@ def test_lowering_leaves_model_state_untouched():
     grads = np.empty_like(params)
     program.gradient_all(params, xs, ys, grads)
     np.testing.assert_array_equal(model.get_flat_params(), before)
+
+
+# ----------------------------------------------------------------------
+# Fallback reasons: explain=True, tracer counters, one-time debug log
+# ----------------------------------------------------------------------
+class _OpaqueBody(Module):
+    """A module the structural walk cannot see into."""
+
+    def __init__(self):
+        super().__init__()
+        self.dense = Dense(4, 2, rng=0)
+
+    def forward(self, x):
+        return self.dense.forward(x)
+
+    def backward(self, grad_output):
+        return self.dense.backward(grad_output)
+
+
+class _PartialStackBody(Module):
+    """Exposes a batched_stack that misses one of its parameters."""
+
+    def __init__(self):
+        super().__init__()
+        self.dense = Dense(4, 2, rng=0)
+        self.scale = Parameter(np.ones(2), "scale")
+
+    def batched_stack(self):
+        return [self.dense]
+
+    def forward(self, x):
+        return self.dense.forward(x) * self.scale.data
+
+    def backward(self, grad_output):
+        raise NotImplementedError
+
+
+class _MysteryLayer(Module):
+    def forward(self, x):
+        return x
+
+    def backward(self, grad_output):
+        return grad_output
+
+
+class TestLoweringReasons:
+    def test_success_has_no_reason(self):
+        program, reason = lower_supervised_model(
+            make_mlp(FEATURES, (8,), CLASSES, rng=1), explain=True
+        )
+        assert isinstance(program, BatchedProgram)
+        assert reason is None
+
+    def test_opaque_module_reason(self):
+        program, reason = lower_supervised_model(
+            SupervisedModel(_OpaqueBody()), explain=True
+        )
+        assert program is None
+        assert reason == "module:_OpaqueBody"
+
+    def test_custom_loss_reason(self):
+        class WeirdLoss(Loss):
+            pass
+
+        program, reason = lower_supervised_model(
+            SupervisedModel(Dense(4, 2, rng=0), WeirdLoss()), explain=True
+        )
+        assert program is None
+        assert reason == "loss:WeirdLoss"
+
+    def test_unsupported_layer_reason(self):
+        model = SupervisedModel(
+            Sequential(Dense(4, 4, rng=0), _MysteryLayer())
+        )
+        program, reason = lower_supervised_model(model, explain=True)
+        assert program is None
+        assert reason == "layer:_MysteryLayer"
+
+    def test_active_dropout_reason(self):
+        model = SupervisedModel(
+            Sequential(Dense(4, 4, rng=0), Dropout(0.3), Dense(4, 2, rng=1))
+        )
+        program, reason = lower_supervised_model(model, explain=True)
+        assert program is None
+        assert reason == "layer:Dropout(p>0)"
+
+    def test_uncovered_params_reason(self):
+        program, reason = lower_supervised_model(
+            SupervisedModel(_PartialStackBody()), explain=True
+        )
+        assert program is None
+        assert reason == "params:uncovered"
+
+    def test_failed_lowering_bumps_tracer_counter(self):
+        model = SupervisedModel(
+            Sequential(Dense(4, 4, rng=0), Dropout(0.3), Dense(4, 2, rng=1))
+        )
+        with telemetry.tracing() as tracer:
+            assert lower_supervised_model(model) is None
+            assert lower_supervised_model(model) is None
+        assert (
+            tracer.counters.get(
+                "batched.lower.unsupported.layer:Dropout(p>0)"
+            )
+            == 2
+        )
+
+    def test_fallback_logged_once_per_model_shape(self, caplog):
+        model = SupervisedModel(
+            Sequential(Dense(4, 4, rng=0), Dropout(0.3), Dense(4, 2, rng=1))
+        )
+        batched_module._logged_reasons.clear()
+        with caplog.at_level(logging.DEBUG, logger="repro.nn.batched"):
+            lower_supervised_model(model)
+            lower_supervised_model(model)  # second miss stays silent
+        records = [
+            record
+            for record in caplog.records
+            if "batched lowering unsupported" in record.message
+        ]
+        assert len(records) == 1
+        assert "layer:Dropout(p>0)" in records[0].getMessage()

@@ -4,6 +4,11 @@ These are the load-bearing tests of the nn substrate: if a layer's
 backward pass is right, FL training dynamics above it are trustworthy.
 Each check builds a tiny net ending in a scalar-producing loss and
 compares analytic and numeric gradients at random coordinates.
+
+The batched engine's worker-stacked adjoints (conv / pool / batch norm
+over a leading worker axis) are checked the same way, against central
+differences of the *program's own* per-row losses — independent of the
+batched-vs-loop oracle equivalence asserted in ``test_batched.py``.
 """
 
 import numpy as np
@@ -26,6 +31,12 @@ from repro.nn import (
     SoftmaxCrossEntropyLoss,
     SupervisedModel,
     Tanh,
+)
+from repro.nn.batched import (
+    _BatchedBasicBlock,
+    _BatchedBatchNorm,
+    _BatchedChain,
+    lower_supervised_model,
 )
 
 RNG = np.random.default_rng(1234)
@@ -161,3 +172,187 @@ class TestBatchNormGrad:
         model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
         check_model_gradient(model, RNG.normal(size=(8, 4)), labels(8),
                              tol=5e-4)
+
+    def test_batchnorm1d_eval_mode(self):
+        """Eval-mode backward: frozen running stats, affine adjoint."""
+        net = Sequential(Dense(4, 6, rng=1), BatchNorm1d(6), Dense(6, 3, rng=2))
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        # Populate the running statistics, then freeze them.
+        net.forward(RNG.normal(size=(32, 4)))
+        check_eval_model_gradient(model, RNG.normal(size=(8, 4)), labels(8))
+
+    def test_batchnorm2d_eval_mode(self):
+        net = Sequential(
+            Conv2d(2, 3, 3, padding=1, rng=1), BatchNorm2d(3), ReLU(),
+            Flatten(), Dense(3 * 6 * 6, 3, rng=2),
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        net.forward(image_batch(8))
+        check_eval_model_gradient(model, image_batch(), labels())
+
+
+def check_eval_model_gradient(model, x, y, num_coords=8, eps=1e-6, tol=2e-4):
+    """Gradcheck with the module in eval mode (frozen batch-norm stats)."""
+    params = model.get_flat_params()
+    model.module.eval()
+    model.module.zero_grad()
+    predictions = model.module.forward(x)
+    model.loss_fn.forward(predictions, y)
+    model.module.backward(model.loss_fn.backward())
+    analytic = model.module.get_flat_grads()
+    coords = RNG.choice(params.size, size=min(num_coords, params.size),
+                        replace=False)
+    for index in coords:
+        plus = params.copy()
+        plus[index] += eps
+        model.set_flat_params(plus)
+        model.module.eval()
+        loss_plus = model.loss_fn.forward(model.module.forward(x), y)
+        minus = params.copy()
+        minus[index] -= eps
+        model.set_flat_params(minus)
+        loss_minus = model.loss_fn.forward(model.module.forward(x), y)
+        numeric = (loss_plus - loss_minus) / (2 * eps)
+        assert analytic[index] == pytest.approx(numeric, abs=tol), (
+            f"coord {index}: analytic={analytic[index]}, numeric={numeric}"
+        )
+    model.set_flat_params(params)
+    model.module.train()
+
+
+# ----------------------------------------------------------------------
+# Batched (worker-stacked) adjoints
+# ----------------------------------------------------------------------
+def _batched_norm_layers(layers):
+    """All _BatchedBatchNorm instances in a lowered layer pipeline."""
+    found = []
+    for layer in layers:
+        if isinstance(layer, _BatchedBatchNorm):
+            found.append(layer)
+        elif isinstance(layer, _BatchedChain):
+            found.extend(_batched_norm_layers(layer.layers))
+        elif isinstance(layer, _BatchedBasicBlock):
+            found.extend(_batched_norm_layers(layer._children()))
+    return found
+
+
+def check_batched_gradient(
+    model, xs, ys, *, freeze_bn=False, num_coords=8, eps=1e-6, tol=2e-4
+):
+    """Gradcheck ``BatchedProgram.gradient_all`` against its own losses.
+
+    Each worker row's loss depends only on that row's parameters, so the
+    analytic row gradients are checked against central differences of
+    the matching per-row loss.
+    """
+    program = lower_supervised_model(model)
+    assert program is not None, "model unexpectedly failed to lower"
+    if freeze_bn:
+        norms = _batched_norm_layers(program.layers)
+        assert norms, "freeze_bn=True but the model has no batch norm"
+        for norm in norms:
+            norm.frozen = True
+
+    rows = xs.shape[0]
+    params = np.stack([model.get_flat_params()] * rows)
+    params += RNG.normal(size=params.shape, scale=0.05)
+    grads = np.empty_like(params)
+    scratch = np.empty_like(params)
+    program.gradient_all(params, xs, ys, grads)
+
+    flat_coords = RNG.choice(
+        params.size, size=min(num_coords, params.size), replace=False
+    )
+    for flat_index in flat_coords:
+        row, index = divmod(int(flat_index), params.shape[1])
+        plus = params.copy()
+        plus[row, index] += eps
+        loss_plus = program.gradient_all(plus, xs, ys, scratch)[row]
+        minus = params.copy()
+        minus[row, index] -= eps
+        loss_minus = program.gradient_all(minus, xs, ys, scratch)[row]
+        numeric = (loss_plus - loss_minus) / (2 * eps)
+        assert grads[row, index] == pytest.approx(numeric, abs=tol), (
+            f"row {row} coord {index}: analytic={grads[row, index]}, "
+            f"numeric={numeric}"
+        )
+
+
+def worker_images(workers=3, n=3, c=2, h=6, w=6):
+    return RNG.normal(size=(workers, n, c, h, w))
+
+
+def worker_labels(workers=3, n=3, classes=3):
+    return RNG.integers(0, classes, size=(workers, n))
+
+
+class TestBatchedAdjoints:
+    def test_conv_stride2(self):
+        net = Sequential(
+            Conv2d(2, 3, 3, stride=2, padding=1, rng=1), ReLU(),
+            Flatten(), Dense(3 * 3 * 3, 3, rng=2),
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        check_batched_gradient(model, worker_images(), worker_labels())
+
+    def test_conv_nonsquare_input(self):
+        # H != W exercises the separate out_h/out_w bookkeeping.
+        net = Sequential(
+            Conv2d(2, 3, 3, stride=2, padding=1, bias=False, rng=1),
+            Flatten(), Dense(3 * 3 * 2, 3, rng=2),
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        check_batched_gradient(
+            model, worker_images(h=6, w=4), worker_labels()
+        )
+
+    def test_pooling_chain(self):
+        net = Sequential(
+            Conv2d(2, 2, 3, padding=1, rng=1), MaxPool2d(2), ReLU(),
+            Conv2d(2, 3, 3, padding=1, rng=2), AvgPool2d(3, stride=1),
+            Flatten(), Dense(3, 3, rng=3),
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        # Nudge off MaxPool tie points for clean finite differences.
+        xs = worker_images() + np.linspace(0, 0.01, 6 * 6).reshape(6, 6)
+        check_batched_gradient(model, xs, worker_labels())
+
+    def test_global_avgpool_mse(self):
+        net = Sequential(
+            Conv2d(2, 4, 3, padding=1, rng=1), GlobalAvgPool2d(),
+            Dense(4, 3, rng=2),
+        )
+        model = SupervisedModel(net, MSELoss())
+        check_batched_gradient(model, worker_images(), worker_labels())
+
+    def test_batchnorm2d_train_mode(self):
+        net = Sequential(
+            Conv2d(2, 3, 3, padding=1, rng=1), BatchNorm2d(3), Tanh(),
+            Flatten(), Dense(3 * 6 * 6, 3, rng=2),
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        check_batched_gradient(
+            model, worker_images(n=4), worker_labels(n=4), tol=5e-4
+        )
+
+    def test_batchnorm2d_frozen_running_stats(self):
+        net = Sequential(
+            Conv2d(2, 3, 3, padding=1, rng=1), BatchNorm2d(3), ReLU(),
+            Flatten(), Dense(3 * 6 * 6, 3, rng=2),
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        net.forward(image_batch(8, 2, 6))  # populate running stats
+        check_batched_gradient(
+            model, worker_images(), worker_labels(), freeze_bn=True
+        )
+
+    def test_batchnorm1d_frozen_running_stats(self):
+        net = Sequential(
+            Dense(4, 6, rng=1), BatchNorm1d(6), Dense(6, 3, rng=2)
+        )
+        model = SupervisedModel(net, SoftmaxCrossEntropyLoss())
+        net.forward(RNG.normal(size=(32, 4)))
+        xs = RNG.normal(size=(3, 5, 4))
+        check_batched_gradient(
+            model, xs, worker_labels(n=5), freeze_bn=True
+        )

@@ -206,10 +206,27 @@ class TestBatchNorm:
         out = layer.forward(x)
         assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-9)
 
-    def test_eval_backward_raises(self):
+    def test_eval_backward_is_elementwise_affine_adjoint(self):
+        """Frozen stats make eval BN affine in x: grad = g * gamma/std."""
+        rng = np.random.default_rng(5)
         layer = BatchNorm1d(2)
+        layer.forward(rng.normal(size=(16, 2)))  # populate running stats
+        layer.gamma.data[:] = rng.normal(size=2)
         layer.eval()
-        layer.forward(np.zeros((4, 2)))
+        layer.zero_grad()
+
+        x = rng.normal(size=(4, 2))
+        grad_output = rng.normal(size=(4, 2))
+        layer.forward(x)
+        grad_input = layer.backward(grad_output)
+
+        inv_std = 1.0 / np.sqrt(layer.running_var + layer.eps)
+        np.testing.assert_allclose(
+            grad_input, grad_output * layer.gamma.data * inv_std, rtol=1e-12
+        )
+
+    def test_backward_before_forward_raises(self):
+        layer = BatchNorm1d(2)
         with pytest.raises(RuntimeError):
             layer.backward(np.ones((4, 2)))
 

@@ -39,6 +39,7 @@ TOLERANCE = 0.2
 GATES = {
     "batched": {
         "gradient_pass_16worker_mlp": [("speedup", "higher_better")],
+        "batched_cnn": [("speedup", "higher_better")],
     },
     "eventsim": {
         "engine_event_throughput": [("events_per_second", "higher_better")],
