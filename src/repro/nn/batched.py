@@ -478,8 +478,8 @@ class _BatchedBasicBlock:
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         grad = self.relu2.backward(grad_output)
         grad_main = self.conv1.backward(
-            self.relu1.backward(
-                self.bn1.backward(
+            self.bn1.backward(
+                self.relu1.backward(
                     self.conv2.backward(self.bn2.backward(grad))
                 )
             )

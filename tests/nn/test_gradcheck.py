@@ -356,3 +356,51 @@ class TestBatchedAdjoints:
         check_batched_gradient(
             model, xs, worker_labels(n=5), freeze_bn=True
         )
+
+    def test_basic_block_train_mode(self):
+        """Train-mode residual block: batch-norm adjoints are NOT
+        elementwise here, so this catches any relu/bn ordering slip in
+        ``_BatchedBasicBlock.backward`` that frozen-stats checks (where
+        the BN adjoint commutes with the ReLU mask) cannot see."""
+        model = _basic_block_model(stride=2)
+        check_batched_gradient(
+            model, worker_images(n=4), worker_labels(n=4), tol=5e-4
+        )
+
+    def test_basic_block_identity_train_mode(self):
+        model = _basic_block_model(stride=1)
+        check_batched_gradient(
+            model, worker_images(n=4), worker_labels(n=4), tol=5e-4
+        )
+
+
+def _basic_block_model(stride: int) -> SupervisedModel:
+    """A tiny net around one residual block (projection iff stride > 1)."""
+    from repro.nn.models.resnet import BasicBlock
+
+    rng = np.random.default_rng(7)
+    out_channels = 3 if stride > 1 else 2
+    net = Sequential(
+        BasicBlock(2, out_channels, stride, rng),
+        GlobalAvgPool2d(),
+        Dense(out_channels, 3, rng=2),
+    )
+    return SupervisedModel(net, SoftmaxCrossEntropyLoss())
+
+
+class TestBasicBlockGrad:
+    """Per-worker (loop backend) train-mode residual block gradchecks.
+
+    The loop backend is the oracle for the batched equivalence suite, so
+    its own train-mode block backward must be finite-difference-checked
+    independently — otherwise a shared adjoint-order bug passes every
+    equivalence test.
+    """
+
+    def test_projection_block_train_mode(self):
+        model = _basic_block_model(stride=2)
+        check_model_gradient(model, image_batch(4), labels(4), tol=5e-4)
+
+    def test_identity_block_train_mode(self):
+        model = _basic_block_model(stride=1)
+        check_model_gradient(model, image_batch(4), labels(4), tol=5e-4)
