@@ -20,6 +20,7 @@ from repro.algorithms import (
     THREE_TIER_ALGORITHMS,
     TWO_TIER_ALGORITHMS,
 )
+from repro.checkpoint import CheckpointManager
 from repro.core import Federation, HierAdMo, HierAdMoR
 from repro.data import Dataset, make_dataset, partition, train_test_split
 from repro import telemetry
@@ -49,5 +50,6 @@ __all__ = [
     "TWO_TIER_ALGORITHMS",
     "FaultPlan",
     "DEGRADATION_POLICIES",
+    "CheckpointManager",
     "telemetry",
 ]

@@ -35,6 +35,7 @@ from repro.core.hieradmo import HierAdMo
 from repro.algorithms.twotier import FedAvg
 from repro.metrics.history import TrainingHistory
 from repro.monitoring.health import MonitorAbort
+from repro.monitoring.monitor import get_monitor
 from repro.simulation.devices import worker_device_pool
 from repro.simulation.engine import AsyncDeployment, EventLoopRunner
 from repro.telemetry import get_tracer
@@ -161,6 +162,66 @@ class AsyncExecutionMixin:
     def _global_eval_params(self) -> np.ndarray:
         return self.fed.global_average_workers(self._eval_x)
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (engine-side state rides along with the
+    # algorithm's declared CKPT_ARRAYS/CKPT_VALUES)
+    # ------------------------------------------------------------------
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        arrays = dict(super().checkpoint_arrays())
+        arrays["async:eval_x"] = self._eval_x
+        for worker, snap in self._stale_store.items():
+            parts = snap if isinstance(snap, tuple) else (snap,)
+            for slot, part in enumerate(parts):
+                arrays[f"async:stale:{worker}:{slot}"] = part
+        return arrays
+
+    def restore_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        super().restore_arrays(
+            {
+                name: array
+                for name, array in arrays.items()
+                if not name.startswith("async:")
+            }
+        )
+        np.copyto(self._eval_x, arrays["async:eval_x"])
+        slots: dict[int, dict[int, np.ndarray]] = {}
+        for name, array in arrays.items():
+            if not name.startswith("async:stale:"):
+                continue
+            _, _, worker, slot = name.split(":")
+            slots.setdefault(int(worker), {})[int(slot)] = array.copy()
+        # Single-slot snapshots are bare arrays (AsyncFedAvg), multi-slot
+        # ones tuples (AsyncHierAdMo) — mirroring ``snapshot_stale``.
+        self._stale_store = {
+            worker: (
+                parts[0]
+                if len(parts) == 1
+                else tuple(parts[i] for i in range(len(parts)))
+            )
+            for worker, parts in slots.items()
+        }
+
+    def checkpoint_values(self) -> dict:
+        values = dict(super().checkpoint_values())
+        values["async:gamma_pending"] = {
+            str(r): {str(g): float(v) for g, v in groups.items()}
+            for r, groups in self._gamma_pending.items()
+        }
+        values["async:loss_sum"] = self._loss_sum
+        values["async:loss_count"] = self._loss_count
+        return values
+
+    def restore_values(self, values: dict) -> None:
+        values = dict(values)
+        pending = values.pop("async:gamma_pending")
+        self._loss_sum = float(values.pop("async:loss_sum"))
+        self._loss_count = int(values.pop("async:loss_count"))
+        super().restore_values(values)
+        self._gamma_pending = {
+            int(r): {int(g): float(v) for g, v in groups.items()}
+            for r, groups in pending.items()
+        }
+
     def run(
         self,
         total_iterations: int,
@@ -168,12 +229,19 @@ class AsyncExecutionMixin:
         eval_every: int | None = None,
         history: TrainingHistory | None = None,
         stop_on_divergence: bool = True,
+        checkpoints=None,
+        resume_from=None,
     ) -> TrainingHistory:
         """Train for ``total_iterations`` under the event-driven engine.
 
         Evaluations only happen at round-complete barriers (the only
         points with a coherent global model), so ``eval_every`` is
-        rounded up to a multiple of ``tau``.
+        rounded up to a multiple of ``tau``.  The same applies to
+        ``checkpoints``: snapshots land at the first barrier whose
+        nominal iteration the manager's schedule selects.  Resuming from
+        a snapshot (``resume_from``) restores the full engine state —
+        event queue, in-flight uploads, simulation RNG — and replays the
+        remaining events bit-exact with an uninterrupted run.
         """
         total_iterations = check_positive_int(
             total_iterations, "total_iterations"
@@ -183,6 +251,14 @@ class AsyncExecutionMixin:
         eval_every = check_positive_int(eval_every, "eval_every")
         eval_every = int(math.ceil(eval_every / self.tau)) * self.tau
 
+        if resume_from is not None:
+            if resume_from.driver_kind != "event":
+                raise ValueError(
+                    f"checkpoint was written by the "
+                    f"{resume_from.driver_kind!r} driver, not the event "
+                    f"driver"
+                )
+            history = resume_from.build_history()
         if history is None:
             history = self.fed.new_history(self.name, self.config())
         self.history = history
@@ -198,11 +274,15 @@ class AsyncExecutionMixin:
         self._async_setup()
         self._eval_every = eval_every
         self._total_iterations = total_iterations
+        if resume_from is not None:
+            resume_from.apply(self)
         self._emit_run_start(total_iterations, eval_every)
+        alerts_seen = self._alert_mark
 
-        accuracy, loss = self.fed.evaluate(self._global_eval_params())
-        history.record_eval(0, accuracy, loss, train_loss=float("nan"))
-        history.eval_times.append(0.0)
+        if resume_from is None:
+            accuracy, loss = self.fed.evaluate(self._global_eval_params())
+            history.record_eval(0, accuracy, loss, train_loss=float("nan"))
+            history.eval_times.append(0.0)
 
         runner = EventLoopRunner(
             self,
@@ -216,9 +296,40 @@ class AsyncExecutionMixin:
             stop_on_divergence=stop_on_divergence,
         )
         self.runner = runner
+        if resume_from is not None:
+            runner.load_state_dict(resume_from.driver_state)
+        if checkpoints is not None:
+
+            def checkpoint_hook(active_runner) -> None:
+                nonlocal alerts_seen
+                monitor = get_monitor()
+                alerts_now = len(monitor.alerts) if monitor.enabled else 0
+                t = min(
+                    active_runner._notified * self.tau, total_iterations
+                )
+                periodic = checkpoints.should_save(t)
+                if not periodic and alerts_now <= alerts_seen:
+                    return
+                checkpoints.save(
+                    self,
+                    iteration=t,
+                    driver={
+                        "kind": "event",
+                        "state": active_runner.state_dict(),
+                    },
+                    total_iterations=total_iterations,
+                    eval_every=eval_every,
+                    reason="periodic" if periodic else "alert",
+                )
+                alerts_seen = alerts_now
+
+            runner.checkpoint_hook = checkpoint_hook
         try:
-            self._emit_eval(0, accuracy, loss, float("nan"), sim_time=0.0)
-            self.simulation = runner.run()
+            if resume_from is None:
+                self._emit_eval(0, accuracy, loss, float("nan"), sim_time=0.0)
+            else:
+                self._emit_checkpoint_restored(resume_from)
+            self.simulation = runner.run(resume=resume_from is not None)
             if stop_on_divergence and runner.diverged_at is not None:
                 history.diverged = True
                 history.diverged_at = runner.diverged_at
@@ -445,6 +556,8 @@ class AsyncFedAvg(AsyncExecutionMixin, FedAvg):
 
     name = "AsyncFedAvg"
     FLAT = True
+
+    CKPT_ARRAYS = FedAvg.CKPT_ARRAYS + ("_server_x",)
 
     def _setup(self) -> None:
         super()._setup()

@@ -34,6 +34,9 @@ class QuantizedHierFAVG(HierFAVG):
 
     name = "QuantizedHierFAVG"
 
+    CKPT_ARRAYS = HierFAVG.CKPT_ARRAYS + ("worker_sync", "edge_sync")
+    CKPT_VALUES = ("uplink_payload_bytes",)
+
     def __init__(
         self,
         federation: Federation,
@@ -61,6 +64,17 @@ class QuantizedHierFAVG(HierFAVG):
         self.worker_sync = self.x.copy()
         self.edge_sync = self.edge_models.copy()
         self.uplink_payload_bytes = 0.0
+
+    def checkpoint_extra(self) -> dict:
+        rng = getattr(self.compressor, "rng", None)
+        if rng is None:
+            return {}
+        return {"compressor_rng": rng.bit_generator.state}
+
+    def restore_extra(self, extra: dict) -> None:
+        state = extra.get("compressor_rng")
+        if state is not None:
+            self.compressor.rng.bit_generator.state = state
 
     def _edge_aggregate(self, redistribute: bool = True, *, t: int = 0) -> None:
         with get_tracer().span("edge_agg"):

@@ -24,6 +24,8 @@ class FedProx(TwoTierAlgorithm):
 
     name = "FedProx"
 
+    CKPT_ARRAYS = TwoTierAlgorithm.CKPT_ARRAYS + ("global_params",)
+
     def __init__(
         self,
         federation: Federation,

@@ -33,6 +33,8 @@ class HierFAVG(FLAlgorithm):
 
     name = "HierFAVG"
 
+    CKPT_ARRAYS = ("x", "edge_models")
+
     def __init__(
         self,
         federation: Federation,
@@ -228,6 +230,8 @@ class CFL(HierFAVG):
     """
 
     name = "CFL"
+
+    CKPT_VALUES = ("_cloud_pending",)
 
     def _setup(self) -> None:
         super()._setup()

@@ -28,6 +28,9 @@ class SampledFedAvg(TwoTierAlgorithm):
 
     name = "SampledFedAvg"
 
+    CKPT_ARRAYS = TwoTierAlgorithm.CKPT_ARRAYS + ("server_params",)
+    CKPT_VALUES = ("active",)
+
     def __init__(
         self,
         federation: Federation,
@@ -104,3 +107,11 @@ class SampledFedAvg(TwoTierAlgorithm):
 
     def _global_params(self) -> np.ndarray:
         return self.server_params.copy()
+
+    # ``_setup`` consumes one sampling draw; restoring the recorded RNG
+    # state afterwards (extras are restored last) rewinds it exactly.
+    def checkpoint_extra(self) -> dict:
+        return {"rng": self.rng.bit_generator.state}
+
+    def restore_extra(self, extra: dict) -> None:
+        self.rng.bit_generator.state = extra["rng"]

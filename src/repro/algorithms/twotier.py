@@ -54,6 +54,10 @@ __all__ = [
 class TwoTierAlgorithm(FLAlgorithm):
     """Shared plumbing: stacked (num_workers, dim) models + global averaging."""
 
+    # Checkpoint state: the stacked worker models; subclasses extend
+    # with their momentum buffers / server vectors.
+    CKPT_ARRAYS = ("x",)
+
     def __init__(self, federation: Federation, *, eta: float = 0.01, tau: int = 20):
         super().__init__(federation, eta=eta)
         self.tau = check_positive_int(tau, "tau")
@@ -183,6 +187,7 @@ class FedNAG(TwoTierAlgorithm):
 
     name = "FedNAG"
     payload_multiplier = 2.0  # ships model + momentum each round
+    CKPT_ARRAYS = TwoTierAlgorithm.CKPT_ARRAYS + ("y",)
 
     def __init__(
         self,
@@ -240,6 +245,10 @@ class FedMom(TwoTierAlgorithm):
     """
 
     name = "FedMom"
+    CKPT_ARRAYS = TwoTierAlgorithm.CKPT_ARRAYS + (
+        "server_params",
+        "server_momentum",
+    )
 
     def __init__(
         self,
@@ -293,6 +302,10 @@ class SlowMo(TwoTierAlgorithm):
     """
 
     name = "SlowMo"
+    CKPT_ARRAYS = TwoTierAlgorithm.CKPT_ARRAYS + (
+        "server_params",
+        "slow_momentum",
+    )
 
     def __init__(
         self,
@@ -355,6 +368,7 @@ class Mime(TwoTierAlgorithm):
     # Broadcasts the server statistic alongside the model; the round's
     # extra gradient exchange is folded into the same multiplier.
     payload_multiplier = 2.0
+    CKPT_ARRAYS = TwoTierAlgorithm.CKPT_ARRAYS + ("server_state",)
 
     def __init__(
         self,
@@ -429,6 +443,11 @@ class FedADC(TwoTierAlgorithm):
     name = "FedADC"
     # Broadcasts the server momentum alongside the model each round.
     payload_multiplier = 2.0
+    CKPT_ARRAYS = TwoTierAlgorithm.CKPT_ARRAYS + (
+        "server_params",
+        "server_momentum",
+        "local_momentum",
+    )
 
     def __init__(
         self,
@@ -498,6 +517,11 @@ class FastSlowMo(TwoTierAlgorithm):
     name = "FastSlowMo"
     # Ships the worker model and its NAG momentum every round.
     payload_multiplier = 2.0
+    CKPT_ARRAYS = TwoTierAlgorithm.CKPT_ARRAYS + (
+        "y",
+        "server_params",
+        "slow_momentum",
+    )
 
     def __init__(
         self,

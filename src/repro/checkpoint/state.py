@@ -1,0 +1,162 @@
+"""Capture/restore helpers for the stateful runtime pieces.
+
+Everything a bit-exact resume needs beyond the algorithm's own stacked
+matrices lives here:
+
+* **RNG streams** — a ``numpy`` :class:`~numpy.random.Generator` round-
+  trips through ``bit_generator.state``, a plain JSON-able dict (Python
+  ``json`` handles the 128-bit PCG64 integers natively);
+* **data samplers** — a :class:`~repro.data.loader.BatchSampler` is its
+  generator state plus the current permutation and cursor (stateless
+  full-batch samplers serialize as ``None``);
+* **model buffers** — BatchNorm running statistics, which live outside
+  the flat parameter vector and advance during training;
+* **fault injectors** — realized-event counters, the monotone message
+  sequence, the staleness ring buffers and the per-interval edge-mask
+  cache.
+
+Each ``*_state`` helper returns ``(values, arrays)`` — a JSON-able dict
+for the checkpoint manifest and a dict of numpy arrays for the archive
+— and the matching ``restore_*`` applies them to a freshly constructed
+object of the same shape.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = [
+    "rng_state",
+    "set_rng_state",
+    "federation_state",
+    "restore_federation",
+    "injector_state",
+    "restore_injector",
+]
+
+
+# ----------------------------------------------------------------------
+# RNG streams
+# ----------------------------------------------------------------------
+def rng_state(generator: np.random.Generator) -> dict:
+    """JSON-able snapshot of a numpy Generator."""
+    return generator.bit_generator.state
+
+
+def set_rng_state(generator: np.random.Generator, state: dict) -> None:
+    """Inverse of :func:`rng_state` (the bit generators must match)."""
+    generator.bit_generator.state = state
+
+
+# ----------------------------------------------------------------------
+# Federation: data samplers + model buffers
+# ----------------------------------------------------------------------
+def _norm_layers(model):
+    from repro.nn.norm import _BatchNorm
+
+    return [
+        layer
+        for layer in model.module.modules()
+        if isinstance(layer, _BatchNorm)
+    ]
+
+
+def federation_state(federation) -> tuple[dict, dict[str, np.ndarray]]:
+    """Snapshot sampler RNG cursors and BatchNorm running buffers."""
+    values: dict = {"samplers": []}
+    arrays: dict[str, np.ndarray] = {}
+    for index, sampler in enumerate(federation.samplers):
+        rng = getattr(sampler, "rng", None)
+        if rng is None:
+            # FullBatchSampler and friends: nothing to capture.
+            values["samplers"].append(None)
+            continue
+        values["samplers"].append(
+            {"rng": rng_state(rng), "cursor": int(sampler._cursor)}
+        )
+        arrays[f"fed:sampler{index}:order"] = np.asarray(sampler._order)
+    for index, layer in enumerate(_norm_layers(federation.model)):
+        for key, buffer in layer.get_buffers().items():
+            arrays[f"fed:bn{index}:{key}"] = np.asarray(buffer)
+    return values, arrays
+
+
+def restore_federation(
+    federation, values: dict, arrays: dict[str, np.ndarray]
+) -> None:
+    """Apply a :func:`federation_state` snapshot to ``federation``.
+
+    The federation must be freshly built with the same geometry (same
+    worker count, datasets and model architecture); shape mismatches
+    surface as errors rather than silent drift.
+    """
+    entries = values["samplers"]
+    if len(entries) != len(federation.samplers):
+        raise ValueError(
+            f"checkpoint has {len(entries)} samplers, federation has "
+            f"{len(federation.samplers)}"
+        )
+    for index, (sampler, entry) in enumerate(
+        zip(federation.samplers, entries)
+    ):
+        if entry is None:
+            continue
+        set_rng_state(sampler.rng, entry["rng"])
+        sampler._order = np.array(arrays[f"fed:sampler{index}:order"])
+        sampler._cursor = int(entry["cursor"])
+    for index, layer in enumerate(_norm_layers(federation.model)):
+        buffers = layer.get_buffers()
+        restored = {
+            key: np.array(arrays[f"fed:bn{index}:{key}"])
+            for key in buffers
+        }
+        layer.set_buffers(restored)
+
+
+# ----------------------------------------------------------------------
+# Fault injector
+# ----------------------------------------------------------------------
+def injector_state(injector) -> tuple[dict, dict[str, np.ndarray]]:
+    """Snapshot an injector's realized-event state."""
+    values: dict = {
+        "counts": dict(injector.counts),
+        "msg_sequence": int(injector._msg_sequence),
+        "stale_buffers": {},
+        "edge_masks": {},
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for label, buffer in injector._stale_buffers.items():
+        values["stale_buffers"][label] = {
+            "maxlen": buffer.maxlen,
+            "count": len(buffer),
+        }
+        for slot, item in enumerate(buffer):
+            arrays[f"inj:stale:{label}:{slot}"] = item
+    for interval, mask in injector._edge_masks.items():
+        values["edge_masks"][str(interval)] = mask is not None
+        if mask is not None:
+            arrays[f"inj:mask:{interval}"] = mask
+    return values, arrays
+
+
+def restore_injector(
+    injector, values: dict, arrays: dict[str, np.ndarray]
+) -> None:
+    """Apply an :func:`injector_state` snapshot after ``reset()``."""
+    injector.counts = {
+        name: int(value) for name, value in values["counts"].items()
+    }
+    injector._msg_sequence = int(values["msg_sequence"])
+    injector._stale_buffers = {}
+    for label, meta in values["stale_buffers"].items():
+        buffer = deque(maxlen=meta["maxlen"])
+        for slot in range(meta["count"]):
+            buffer.append(np.array(arrays[f"inj:stale:{label}:{slot}"]))
+        injector._stale_buffers[label] = buffer
+    injector._edge_masks = {}
+    for interval, present in values["edge_masks"].items():
+        injector._edge_masks[int(interval)] = (
+            np.array(arrays[f"inj:mask:{interval}"]) if present else None
+        )

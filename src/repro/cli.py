@@ -84,6 +84,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream run events to this JSONL file (watch it live with "
              "'repro monitor PATH') and run the default health monitors",
     )
+    run_parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write durable training checkpoints into this directory",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=10, metavar="N",
+        help="iterations between periodic checkpoints (default 10)",
+    )
+    run_parser.add_argument(
+        "--resume", action="store_true",
+        help="continue from the newest loadable checkpoint in "
+             "--checkpoint-dir (bit-exact with an uninterrupted run); "
+             "starts fresh when the directory holds none",
+    )
     _add_config_arguments(run_parser)
 
     monitor_parser = sub.add_parser(
@@ -263,6 +277,13 @@ def main(argv: list[str] | None = None) -> int:
     config = _config_from_args(args)
 
     if args.command == "run":
+        if args.resume and not args.checkpoint_dir:
+            raise SystemExit("--resume requires --checkpoint-dir")
+        checkpoint_kwargs = dict(
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+        )
         if args.monitor:
             from repro.monitoring import (
                 JSONLStreamSink,
@@ -274,10 +295,12 @@ def main(argv: list[str] | None = None) -> int:
                 sinks=[JSONLStreamSink(args.monitor)],
                 monitors=default_monitors(),
             ):
-                history = run_single(args.algorithm, config)
+                history = run_single(
+                    args.algorithm, config, **checkpoint_kwargs
+                )
             print(f"events streamed to {args.monitor}")
         else:
-            history = run_single(args.algorithm, config)
+            history = run_single(args.algorithm, config, **checkpoint_kwargs)
         for t, accuracy in zip(history.iterations, history.test_accuracy):
             print(f"iteration {t:6d}: accuracy {accuracy:.4f}")
         print(f"final accuracy: {history.final_accuracy:.4f}")

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.federation import Federation
 from repro.faults import FaultInjector, FaultPlan, check_policy
 from repro.metrics.history import TrainingHistory
+from repro.monitoring.events import CHECKPOINT_RESTORED
 from repro.monitoring.health import MonitorAbort
 from repro.monitoring.monitor import get_monitor
 from repro.telemetry import get_tracer
@@ -104,6 +105,57 @@ class FLAlgorithm:
         return float(losses.mean())
 
     # ------------------------------------------------------------------
+    # Checkpoint protocol
+    # ------------------------------------------------------------------
+    # Names of the numpy matrices / JSON-able scalars that fully define
+    # this algorithm's training state between iterations.  Dotted names
+    # reach into sub-objects (e.g. "controller.grad_sums").  Scratch
+    # buffers recomputed every step (like ``_grads``) are excluded.
+    CKPT_ARRAYS: tuple[str, ...] = ()
+    CKPT_VALUES: tuple[str, ...] = ()
+
+    def _ckpt_resolve(self, name: str):
+        obj = self
+        *head, leaf = name.split(".")
+        for part in head:
+            obj = getattr(obj, part)
+        return obj, leaf
+
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """Snapshot every declared state array (by reference)."""
+        arrays: dict[str, np.ndarray] = {}
+        for name in self.CKPT_ARRAYS:
+            obj, leaf = self._ckpt_resolve(name)
+            arrays[name] = getattr(obj, leaf)
+        return arrays
+
+    def checkpoint_values(self) -> dict:
+        """Snapshot every declared JSON-able state value."""
+        values: dict = {}
+        for name in self.CKPT_VALUES:
+            obj, leaf = self._ckpt_resolve(name)
+            values[name] = getattr(obj, leaf)
+        return values
+
+    def checkpoint_extra(self) -> dict:
+        """Per-class extras (RNG streams, engine state); JSON-able."""
+        return {}
+
+    def restore_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        """Copy a snapshot back over freshly ``_setup()``-allocated state."""
+        for name in self.CKPT_ARRAYS:
+            obj, leaf = self._ckpt_resolve(name)
+            np.copyto(getattr(obj, leaf), arrays[name])
+
+    def restore_values(self, values: dict) -> None:
+        for name in self.CKPT_VALUES:
+            obj, leaf = self._ckpt_resolve(name)
+            setattr(obj, leaf, values[name])
+
+    def restore_extra(self, extra: dict) -> None:
+        pass
+
+    # ------------------------------------------------------------------
     # Hooks
     # ------------------------------------------------------------------
     def _setup(self) -> None:
@@ -168,6 +220,16 @@ class FLAlgorithm:
             dim=self.fed.dim,
         )
 
+    def _emit_checkpoint_restored(self, restored) -> None:
+        monitor = get_monitor()
+        if not monitor.enabled:
+            return
+        monitor.emit(
+            CHECKPOINT_RESTORED,
+            iteration=restored.iteration,
+            path=str(restored.path),
+        )
+
     def _abort_run(
         self, history: TrainingHistory, abort: MonitorAbort
     ) -> TrainingHistory:
@@ -196,6 +258,8 @@ class FLAlgorithm:
         eval_every: int | None = None,
         history: TrainingHistory | None = None,
         stop_on_divergence: bool = True,
+        checkpoints=None,
+        resume_from=None,
     ) -> TrainingHistory:
         """Train for ``total_iterations`` local iterations (the paper's T).
 
@@ -205,6 +269,16 @@ class FLAlgorithm:
         With ``stop_on_divergence`` (default), a non-finite training
         loss ends the run early and marks ``history.diverged`` instead
         of silently training on NaNs for the remaining iterations.
+
+        ``checkpoints`` takes a
+        :class:`~repro.checkpoint.CheckpointManager`: the driver saves a
+        durable snapshot after each iteration the manager's schedule
+        selects, and additionally whenever a health monitor raised a
+        fresh alert.  ``resume_from`` takes a
+        :class:`~repro.checkpoint.RestoredRun`; the run then continues
+        from the snapshot's next iteration, bit-exact with an
+        uninterrupted run (the ``history`` argument is ignored in favor
+        of the checkpointed one).
         """
         total_iterations = check_positive_int(
             total_iterations, "total_iterations"
@@ -213,6 +287,13 @@ class FLAlgorithm:
             eval_every = max(1, total_iterations // 10)
         eval_every = check_positive_int(eval_every, "eval_every")
 
+        if resume_from is not None:
+            if resume_from.driver_kind != "lockstep":
+                raise ValueError(
+                    f"checkpoint was written by the "
+                    f"{resume_from.driver_kind!r} driver, not lockstep"
+                )
+            history = resume_from.build_history()
         if history is None:
             history = self.fed.new_history(self.name, self.config())
         self.history = history
@@ -226,19 +307,34 @@ class FLAlgorithm:
         self._up_mask = None
 
         self._setup()
+        if resume_from is not None:
+            resume_from.apply(self)
         self._emit_run_start(total_iterations, eval_every)
+        alerts_seen = self._alert_mark
 
-        accuracy, loss = self.fed.evaluate(self._global_params())
-        # No training batches have run at iteration 0, so there is no
-        # training loss to report (recording the test loss here, as the
-        # seed implementation did, silently conflated the two series).
-        history.record_eval(0, accuracy, loss, train_loss=float("nan"))
+        start_iteration = 1
+        running_loss = 0.0
+        since_eval = 0
+        if resume_from is None:
+            accuracy, loss = self.fed.evaluate(self._global_params())
+            # No training batches have run at iteration 0, so there is
+            # no training loss to report (recording the test loss here,
+            # as the seed implementation did, conflated the two series).
+            history.record_eval(0, accuracy, loss, train_loss=float("nan"))
+        else:
+            state = resume_from.driver_state
+            start_iteration = int(state["iteration"]) + 1
+            running_loss = float(state["running_loss"])
+            since_eval = int(state["since_eval"])
 
         try:
-            self._emit_eval(0, accuracy, loss, float("nan"))
-            running_loss = 0.0
-            since_eval = 0
-            for t in range(1, total_iterations + 1):
+            if resume_from is None:
+                self._emit_eval(0, accuracy, loss, float("nan"))
+            else:
+                self._emit_checkpoint_restored(resume_from)
+            for t in range(start_iteration, total_iterations + 1):
+                if faults is not None:
+                    faults.maybe_crash(t)
                 if self.eta_schedule is not None:
                     self.eta = check_positive(
                         self.eta_schedule(t - 1), "scheduled eta"
@@ -266,6 +362,29 @@ class FLAlgorithm:
                     self._emit_eval(t, accuracy, loss, train_loss)
                     running_loss = 0.0
                     since_eval = 0
+                if checkpoints is not None:
+                    monitor = get_monitor()
+                    alerts_now = (
+                        len(monitor.alerts) if monitor.enabled else 0
+                    )
+                    periodic = checkpoints.should_save(t)
+                    if periodic or alerts_now > alerts_seen:
+                        checkpoints.save(
+                            self,
+                            iteration=t,
+                            driver={
+                                "kind": "lockstep",
+                                "state": {
+                                    "iteration": t,
+                                    "running_loss": running_loss,
+                                    "since_eval": since_eval,
+                                },
+                            },
+                            total_iterations=total_iterations,
+                            eval_every=eval_every,
+                            reason="periodic" if periodic else "alert",
+                        )
+                        alerts_seen = alerts_now
         except MonitorAbort as abort:
             return self._abort_run(history, abort)
         return self._finish_run(history)

@@ -36,6 +36,26 @@ class HierAdMo(FLAlgorithm):
     # Every exchange ships the model and its momentum state (x and y).
     payload_multiplier = 2.0
 
+    # Full training state for checkpoint/resume: worker and edge
+    # parameter/momentum matrices, the γℓ agreement controller's
+    # accumulators, and the per-edge smoothed γℓ plus μ-traces.
+    # ``_grads`` is scratch (refilled every iteration) and excluded.
+    CKPT_ARRAYS = (
+        "x",
+        "y",
+        "edge_x_plus",
+        "edge_y_plus",
+        "edge_y_minus",
+        "controller.grad_sums",
+        "controller.momentum_sums",
+        "controller._boundary",
+    )
+    CKPT_VALUES = (
+        "_gamma_state",
+        "velocity_norms",
+        "gradient_step_norms",
+    )
+
     def __init__(
         self,
         federation: Federation,

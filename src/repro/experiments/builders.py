@@ -11,8 +11,12 @@ import numpy as np
 
 from repro.algorithms import (
     ALGORITHM_REGISTRY,
+    ASYNC_ALGORITHM_REGISTRY,
     THREE_TIER_ALGORITHMS,
 )
+from repro.algorithms.compressed import QuantizedHierFAVG
+from repro.algorithms.fedprox import FedProx
+from repro.algorithms.participation import SampledFedAvg
 from repro.core.base import FLAlgorithm
 from repro.core.federation import Federation
 from repro.data import (
@@ -169,13 +173,35 @@ def build_algorithm(
     matched τ·π (the paper's fairness rule).  Momentum factors map to the
     paper's γ = γℓ = 0.5 defaults unless the config overrides them.
     """
-    if name not in ALGORITHM_REGISTRY:
+    extensions = {
+        "QuantizedHierFAVG": QuantizedHierFAVG,
+        "FedProx": FedProx,
+        "SampledFedAvg": SampledFedAvg,
+    }
+    registry = {
+        **ALGORITHM_REGISTRY,
+        **ASYNC_ALGORITHM_REGISTRY,
+        **extensions,
+    }
+    if name not in registry:
         raise ValueError(
             f"unknown algorithm {name!r}; choose from "
-            f"{sorted(ALGORITHM_REGISTRY)}"
+            f"{sorted(registry)}"
         )
-    cls = ALGORITHM_REGISTRY[name]
+    cls = registry[name]
     eta = config.eta
+
+    if name == "AsyncHierAdMo":
+        return cls(
+            federation, eta=eta, gamma=config.gamma,
+            tau=config.tau, pi=config.pi,
+        )
+    if name == "AsyncFedAvg":
+        return cls(federation, eta=eta, tau=config.two_tier_tau)
+    if name == "QuantizedHierFAVG":
+        return cls(federation, eta=eta, tau=config.tau, pi=config.pi)
+    if name in ("FedProx", "SampledFedAvg"):
+        return cls(federation, eta=eta, tau=config.two_tier_tau)
 
     if name == "HierAdMo":
         return cls(

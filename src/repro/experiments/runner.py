@@ -16,6 +16,9 @@ def run_single(
     *,
     fault_plan: FaultPlan | None = None,
     degradation: str = "renormalize",
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> TrainingHistory:
     """Build a fresh federation and run one algorithm on it.
 
@@ -24,13 +27,33 @@ def run_single(
     isolate the algorithm itself.  ``fault_plan`` attaches a fault
     injector for the run (``degradation`` picks the policy); the
     realized-event digest lands in ``history.fault_summary``.
+
+    ``checkpoint_dir`` enables durable snapshots every
+    ``checkpoint_every`` iterations; with ``resume`` the run continues
+    from the newest loadable checkpoint in that directory (or starts
+    fresh when there is none).  A resumed run should NOT re-pass a
+    ``fault_plan`` with scripted ``crash_iterations`` — the crash would
+    fire again at the same iteration.
     """
     federation = build_federation(config)
     runner = build_algorithm(algorithm, federation, config)
     if fault_plan is not None:
         runner.attach_faults(fault_plan, policy=degradation)
+    checkpoints = None
+    resume_from = None
+    if checkpoint_dir is not None:
+        from repro.checkpoint import CheckpointManager
+
+        checkpoints = CheckpointManager(
+            checkpoint_dir, every=checkpoint_every, config=config
+        )
+        if resume:
+            resume_from = checkpoints.load_latest()
     return runner.run(
-        config.total_iterations, eval_every=config.eval_every
+        config.total_iterations,
+        eval_every=config.eval_every,
+        checkpoints=checkpoints,
+        resume_from=resume_from,
     )
 
 

@@ -24,6 +24,7 @@ replayable from its seed alone.  See ``docs/architecture.md`` §10.
 from repro.faults.injector import (
     NO_TRANSFER_FAULTS,
     FaultInjector,
+    InjectedCrash,
     TransferOutcome,
 )
 from repro.faults.plan import DEGRADATION_POLICIES, FaultPlan, check_policy
@@ -32,6 +33,7 @@ from repro.faults.rounds import PRISTINE_ROUND, RoundOutcome, degrade_round
 __all__ = [
     "FaultPlan",
     "FaultInjector",
+    "InjectedCrash",
     "TransferOutcome",
     "NO_TRANSFER_FAULTS",
     "DEGRADATION_POLICIES",

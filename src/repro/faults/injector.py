@@ -33,7 +33,27 @@ from repro.telemetry import get_tracer
 from repro.utils.rng import child_seed, make_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["FaultInjector", "TransferOutcome", "NO_TRANSFER_FAULTS"]
+__all__ = [
+    "FaultInjector",
+    "InjectedCrash",
+    "TransferOutcome",
+    "NO_TRANSFER_FAULTS",
+]
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by :meth:`FaultInjector.maybe_crash` at a scripted kill.
+
+    Simulates an abrupt process death at the top of an iteration (or
+    event-engine round): the run driver does not catch it, so training
+    stops with whatever checkpoints were already durable on disk — the
+    crash-recovery tests then resume and must match the uninterrupted
+    golden trajectory.
+    """
+
+    def __init__(self, iteration: int):
+        super().__init__(f"injected crash at iteration {iteration}")
+        self.iteration = iteration
 
 
 @dataclass(frozen=True)
@@ -68,6 +88,7 @@ COUNTERS = (
     "fault.msg_dup",
     "fault.msg_stale",
     "fault.retry",
+    "fault.crash",
     "round.pristine",
     "round.degraded",
     "round.skipped",
@@ -85,7 +106,10 @@ class FaultInjector:
         self.num_edges = check_positive_int(num_edges, "num_edges")
         # Inactive injectors answer every query from the no-op fast
         # path; algorithms then run their pristine code bit-for-bit.
+        # Crashes are deliberately not part of ``active``: a crash-only
+        # plan keeps every numeric query on the pristine path.
         self.active = not plan.is_zero
+        self._crash_at = frozenset(plan.crash_iterations)
         self.reset()
 
     def reset(self) -> None:
@@ -110,6 +134,22 @@ class FaultInjector:
     def note_round(self, kind: str) -> None:
         """Record one aggregation round outcome (pristine/degraded/skipped)."""
         self._count(f"round.{kind}", 1)
+
+    # ------------------------------------------------------------------
+    # Scripted crashes (checkpoint/recovery testing)
+    # ------------------------------------------------------------------
+    def maybe_crash(self, t: int) -> None:
+        """Raise :class:`InjectedCrash` when ``t`` is a scripted kill.
+
+        Checked by both drivers at the top of iteration/round ``t``,
+        before any state mutates — so everything already checkpointed
+        is exactly the state an uninterrupted run had at that point.
+        Fires even on an otherwise-inactive injector (crash-only plans
+        must not perturb numerics, see :class:`FaultPlan`).
+        """
+        if t in self._crash_at:
+            self._count("fault.crash", 1)
+            raise InjectedCrash(t)
 
     # ------------------------------------------------------------------
     # Worker dropout (per iteration)

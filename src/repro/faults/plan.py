@@ -29,6 +29,17 @@ Three failure families (paper §III-A assumes none of them):
 outage windows on top of the probabilistic processes — the degradation-
 equivalence tests script exact participant sets through them.
 
+``crash_iterations`` is a fourth, orthogonal kind: the injector raises
+:class:`~repro.faults.injector.InjectedCrash` at the *top* of each
+listed iteration (lockstep driver) or round (event-driven engine),
+before any state mutates — simulating a process kill for the
+checkpoint/resume tests.  A crash is a control-flow fault, not a
+numeric one, so it deliberately does **not** count toward
+:attr:`FaultPlan.is_zero`: a crash-only plan keeps the injector
+inactive and the run's numerics bit-exact up to the crash point.  The
+fault fires whenever the iteration matches — a resumed run that wants
+to get past the crash simply does not re-attach the plan.
+
 The all-zero plan (``FaultPlan()``) is a strict no-op: the injector
 takes a fast path that draws no randomness and perturbs no numerics, so
 attaching it reproduces fault-free trajectories bit-for-bit.
@@ -84,6 +95,10 @@ class FaultPlan:
     scripted_edge_down: tuple[tuple[int, int, int], ...] = field(
         default_factory=tuple
     )
+    # Iterations (lockstep) / rounds (event engine) at whose start the
+    # injector raises InjectedCrash.  Excluded from ``is_zero`` on
+    # purpose: crashes do not perturb numerics, only control flow.
+    crash_iterations: tuple[int, ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         check_probability(self.worker_dropout, "worker_dropout")
@@ -118,6 +133,16 @@ class FaultPlan:
                 for i, a, b in self.scripted_edge_down
             ),
         )
+        object.__setattr__(
+            self,
+            "crash_iterations",
+            tuple(sorted(int(t) for t in self.crash_iterations)),
+        )
+        for t in self.crash_iterations:
+            if t < 1:
+                raise ValueError(
+                    f"crash_iterations entries must be >= 1, got {t}"
+                )
         for what, script in (
             ("scripted_worker_down", self.scripted_worker_down),
             ("scripted_edge_down", self.scripted_edge_down),
@@ -158,6 +183,7 @@ class FaultPlan:
         payload["scripted_edge_down"] = [
             list(entry) for entry in self.scripted_edge_down
         ]
+        payload["crash_iterations"] = list(self.crash_iterations)
         return payload
 
     @classmethod
@@ -179,5 +205,8 @@ class FaultPlan:
             scripted_edge_down=tuple(
                 tuple(entry)
                 for entry in payload.get("scripted_edge_down", ())
+            ),
+            crash_iterations=tuple(
+                payload.get("crash_iterations", ())
             ),
         )

@@ -14,6 +14,7 @@ from pathlib import Path
 from repro.metrics.history import TrainingHistory
 from repro.telemetry.ledger import CommLedger
 from repro.telemetry.tracer import SpanRecord, Tracer
+from repro.utils.io import atomic_write_text
 
 __all__ = ["history_to_dict", "history_from_dict", "save_history",
            "load_history", "save_history_csv", "save_trace_jsonl",
@@ -81,10 +82,8 @@ def history_from_dict(payload: dict) -> TrainingHistory:
 
 
 def save_history(history: TrainingHistory, path: str | Path) -> None:
-    """Write one history as pretty-printed JSON."""
-    Path(path).write_text(
-        json.dumps(history_to_dict(history), indent=2), encoding="utf-8"
-    )
+    """Write one history as pretty-printed JSON (atomically)."""
+    atomic_write_text(path, json.dumps(history_to_dict(history), indent=2))
 
 
 def load_history(path: str | Path) -> TrainingHistory:
@@ -115,7 +114,7 @@ def save_trace_jsonl(tracer: Tracer, path: str | Path) -> None:
         lines.append(json.dumps({
             "type": "histogram", "name": name, **histogram.to_dict(),
         }))
-    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def load_trace_jsonl(path: str | Path) -> dict:
@@ -128,10 +127,18 @@ def load_trace_jsonl(path: str | Path) -> dict:
     spans: list[SpanRecord] = []
     counters: dict[str, float] = {}
     histograms: dict[str, dict] = {}
-    for line in Path(path).read_text(encoding="utf-8").splitlines():
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
         if not line.strip():
             continue
-        payload = json.loads(line)
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                # A crash mid-append leaves a truncated final record;
+                # the complete prefix is still a valid trace.
+                break
+            raise
         kind = payload.pop("type")
         if kind == "meta":
             meta = payload
@@ -161,4 +168,4 @@ def save_history_csv(history: TrainingHistory, path: str | Path) -> None:
         history.train_loss,
     ):
         lines.append(",".join(repr(value) for value in row))
-    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    atomic_write_text(path, "\n".join(lines) + "\n")

@@ -9,6 +9,8 @@ for the stream schema and monitor lifecycle.
 from repro.monitoring.dashboard import render_dashboard
 from repro.monitoring.events import (
     ALERT,
+    CHECKPOINT_RESTORED,
+    CHECKPOINT_SAVED,
     CLOUD_ROUND,
     EDGE_ROUND,
     EVAL,
@@ -54,6 +56,8 @@ __all__ = [
     "CLOUD_ROUND",
     "ALERT",
     "RUN_END",
+    "CHECKPOINT_SAVED",
+    "CHECKPOINT_RESTORED",
     "EventSink",
     "RingBufferSink",
     "JSONLStreamSink",

@@ -15,6 +15,9 @@ trace.  Six kinds circulate:
   the event-driven engine);
 * ``alert`` — one per health-monitor finding (see
   :mod:`repro.monitoring.health`);
+* ``checkpoint_saved`` / ``checkpoint_restored`` — one per durable
+  snapshot written (path, trigger reason, archive size) and one per
+  resume applied (path, iteration resumed from);
 * ``run_end`` — one per run: final status (finished / diverged /
   aborted) and totals.
 
@@ -37,6 +40,8 @@ __all__ = [
     "EDGE_ROUND",
     "CLOUD_ROUND",
     "ALERT",
+    "CHECKPOINT_SAVED",
+    "CHECKPOINT_RESTORED",
     "RUN_END",
     "EVENT_KINDS",
     "RunEvent",
@@ -47,9 +52,20 @@ EVAL = "eval"
 EDGE_ROUND = "edge_round"
 CLOUD_ROUND = "cloud_round"
 ALERT = "alert"
+CHECKPOINT_SAVED = "checkpoint_saved"
+CHECKPOINT_RESTORED = "checkpoint_restored"
 RUN_END = "run_end"
 
-EVENT_KINDS = (RUN_START, EVAL, EDGE_ROUND, CLOUD_ROUND, ALERT, RUN_END)
+EVENT_KINDS = (
+    RUN_START,
+    EVAL,
+    EDGE_ROUND,
+    CLOUD_ROUND,
+    ALERT,
+    CHECKPOINT_SAVED,
+    CHECKPOINT_RESTORED,
+    RUN_END,
+)
 
 
 @dataclass(slots=True)

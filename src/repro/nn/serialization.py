@@ -4,6 +4,11 @@ Stores the flat parameter vector plus a shape manifest in ``.npz`` so a
 checkpoint can be loaded into a freshly-constructed model of the same
 architecture (and loudly rejects one that doesn't match).  BatchNorm
 running statistics are stored alongside when present.
+
+Writes are atomic (temp file + rename), so a process killed mid-save
+never leaves a truncated file under the final name.  Loads are strict:
+a missing array, an unexpected extra array, or a shape mismatch raises
+``ValueError`` instead of silently loading a partial state.
 """
 
 from __future__ import annotations
@@ -14,12 +19,21 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.nn.norm import _BatchNorm
+from repro.utils.io import replace_into
 
 __all__ = ["save_weights", "load_weights"]
 
 
 def _norm_layers(module: Module) -> list[_BatchNorm]:
     return [m for m in module.modules() if isinstance(m, _BatchNorm)]
+
+
+def _expected_keys(module: Module) -> set[str]:
+    keys = {"flat_params", "shapes"}
+    for index in range(len(_norm_layers(module))):
+        keys.add(f"bn{index}_mean")
+        keys.add(f"bn{index}_var")
+    return keys
 
 
 def save_weights(module: Module, path: str | Path) -> None:
@@ -35,16 +49,31 @@ def save_weights(module: Module, path: str | Path) -> None:
         buffers = layer.get_buffers()
         arrays[f"bn{index}_mean"] = buffers["running_mean"]
         arrays[f"bn{index}_var"] = buffers["running_var"]
-    np.savez(Path(path), **arrays)
+    with replace_into(path) as tmp:
+        # An open handle keeps numpy from appending ".npz" to the
+        # temp name (which would break the rename).
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
 
 
 def load_weights(module: Module, path: str | Path) -> None:
     """Load a checkpoint written by :func:`save_weights` into ``module``.
 
-    Raises ``ValueError`` when the architecture (parameter shapes) does
-    not match the checkpoint.
+    Raises ``ValueError`` when the checkpoint does not exactly match the
+    model: wrong parameter shapes, missing arrays (e.g. batch-norm
+    buffers the model expects), or extra arrays the model has no slot
+    for.
     """
     with np.load(Path(path), allow_pickle=False) as data:
+        stored_keys = set(data.files)
+        expected_keys = _expected_keys(module)
+        missing = sorted(expected_keys - stored_keys)
+        extra = sorted(stored_keys - expected_keys)
+        if missing or extra:
+            raise ValueError(
+                f"checkpoint does not match model: missing keys "
+                f"{missing}, unexpected keys {extra}"
+            )
         expected = [
             ",".join(map(str, p.shape)) for p in module.parameters()
         ]
@@ -55,13 +84,25 @@ def load_weights(module: Module, path: str | Path) -> None:
                 f"parameters {stored[:3]}..., model has {len(expected)} "
                 f"{expected[:3]}..."
             )
-        module.set_flat_params(data["flat_params"])
+        flat = data["flat_params"]
+        if flat.shape != module.get_flat_params().shape:
+            raise ValueError(
+                f"flat parameter size mismatch: checkpoint has "
+                f"{flat.shape}, model expects "
+                f"{module.get_flat_params().shape}"
+            )
+        module.set_flat_params(flat)
         for index, layer in enumerate(_norm_layers(module)):
-            mean_key, var_key = f"bn{index}_mean", f"bn{index}_var"
-            if mean_key in data:
-                layer.set_buffers(
-                    {
-                        "running_mean": data[mean_key],
-                        "running_var": data[var_key],
-                    }
-                )
+            stored_buffers = {
+                "running_mean": data[f"bn{index}_mean"],
+                "running_var": data[f"bn{index}_var"],
+            }
+            current = layer.get_buffers()
+            for name, value in stored_buffers.items():
+                if value.shape != current[name].shape:
+                    raise ValueError(
+                        f"bn{index} buffer {name!r} shape mismatch: "
+                        f"checkpoint has {value.shape}, layer expects "
+                        f"{current[name].shape}"
+                    )
+            layer.set_buffers(stored_buffers)

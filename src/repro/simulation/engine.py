@@ -134,6 +134,29 @@ class EventQueue:
         self.processed += 1
         return heapq.heappop(self._heap)
 
+    def state_dict(self) -> dict:
+        """JSON-able snapshot (event data must be JSON-able itself)."""
+        return {
+            "heap": [
+                [e.time, e.seq, e.kind, dict(e.data)] for e in self._heap
+            ],
+            "seq": self._seq,
+            "pushed": self.pushed,
+            "processed": self.processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        # The (time, seq) ordering is total, so any valid heap over the
+        # same events pops in the identical sequence — heapify is safe.
+        self._heap = [
+            Event(float(t), int(s), str(kind), dict(data))
+            for t, s, kind, data in state["heap"]
+        ]
+        heapq.heapify(self._heap)
+        self._seq = int(state["seq"])
+        self.pushed = int(state["pushed"])
+        self.processed = int(state["processed"])
+
     def __len__(self) -> int:
         return len(self._heap)
 
@@ -206,7 +229,11 @@ class EventLoopRunner:
             total_iterations, "total_iterations"
         )
         # An inactive injector realizes nothing; skip it entirely so the
-        # zero-fault path stays bit-exact and draw-free.
+        # zero-fault path stays bit-exact and draw-free.  Scripted
+        # crashes are exempt: they must fire even from a crash-only
+        # (numerically pristine) plan, so the original injector is kept
+        # under a separate name.
+        self._crash_faults = faults
         self.faults = faults if faults is not None and faults.active else None
         self.rng = make_rng(rng)
         self.flat = bool(flat)
@@ -270,6 +297,12 @@ class EventLoopRunner:
         self._worker_masks: dict[int, np.ndarray | None] = {}
 
         self.queue = EventQueue()
+        # Optional durability hook, set by the client before ``run``:
+        # called with the runner between events whenever a round barrier
+        # advanced ``_notified`` — the only points where the client's
+        # history is coherent with the engine state.
+        self.checkpoint_hook = None
+        self._ckpt_notified = 0
         self.result: EventSimulation | None = None
         self.stale_log: list[tuple[int, int, int, int]] = []
         self.uploads_sent = 0
@@ -283,10 +316,16 @@ class EventLoopRunner:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self) -> EventSimulation:
-        """Process events until every group completed every round."""
-        for worker in range(self.num_workers):
-            self._begin_interval(worker, 0.0)
+    def run(self, *, resume: bool = False) -> EventSimulation:
+        """Process events until every group completed every round.
+
+        With ``resume=True`` the initial worker intervals are NOT
+        seeded — the restored event queue (from :meth:`load_state_dict`)
+        already holds every in-flight occurrence.
+        """
+        if not resume:
+            for worker in range(self.num_workers):
+                self._begin_interval(worker, 0.0)
         handlers = {
             EVENT_WORKER_STEP: self._on_worker_step,
             EVENT_UPLOAD_ARRIVED: self._on_upload_arrived,
@@ -299,6 +338,14 @@ class EventLoopRunner:
         tracer = get_tracer()
         try:
             while self.queue and not self._aborted:
+                if (
+                    self.checkpoint_hook is not None
+                    and self._notified > self._ckpt_notified
+                ):
+                    # Between events, right after a round barrier: the
+                    # client evaluated, every group's state is final.
+                    self._ckpt_notified = self._notified
+                    self.checkpoint_hook(self)
                 if self._notified >= self.total_rounds:
                     break
                 event = self.queue.pop()
@@ -308,6 +355,14 @@ class EventLoopRunner:
                         "converging (engine bug or pathological deployment)"
                     )
                 self.last_event_time = event.time
+                if (
+                    self._crash_faults is not None
+                    and event.kind == EVENT_WORKER_STEP
+                ):
+                    # Scripted kill: the first worker event at a crashed
+                    # nominal iteration aborts the process before any
+                    # state mutates (FIFO pop order makes it replayable).
+                    self._crash_faults.maybe_crash(event.data["t"])
                 if tracer.enabled:
                     tracer.count(f"eventsim.{event.kind}")
                 handlers[event.kind](event)
@@ -697,3 +752,150 @@ class EventLoopRunner:
         while self._notified < target:
             self._notified += 1
             self.client.round_complete(self._notified, time)
+
+    # ------------------------------------------------------------------
+    # Durable snapshots (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the complete engine state.
+
+        Captures everything :meth:`run` consults — worker phases and
+        clocks, per-group round buffers, the event heap, the simulation
+        RNG and the round records — so a fresh runner restored via
+        :meth:`load_state_dict` and run with ``resume=True`` replays the
+        remaining events bit-for-bit.
+        """
+        return {
+            "clock": self._clock.tolist(),
+            "phase": list(self._phase),
+            "version": list(self._version),
+            "steps_left": list(self._steps_left),
+            "fresh": [
+                {str(w): float(t) for w, t in group.items()}
+                for group in self._fresh
+            ],
+            "stale": [
+                {str(w): int(v) for w, v in group.items()}
+                for group in self._stale
+            ],
+            "lost": [sorted(int(w) for w in s) for s in self._lost],
+            "inflight": [sorted(int(w) for w in s) for s in self._inflight],
+            "pending_transfers": list(self._pending_transfers),
+            "closing": list(self._closing),
+            "next_round": list(self._next_round),
+            "completed": list(self._completed),
+            "stale_since_cloud": [
+                sorted(int(w) for w in s) for s in self._stale_since_cloud
+            ],
+            "cloud_wait": {
+                str(g): [float(ready), sorted(int(w) for w in recv)]
+                for g, (ready, recv) in self._cloud_wait.items()
+            },
+            "cloud_round": self._cloud_round,
+            "notified": self._notified,
+            "worker_masks": {
+                str(t): None if mask is None else mask.tolist()
+                for t, mask in self._worker_masks.items()
+            },
+            "queue": self.queue.state_dict(),
+            "stale_log": [list(entry) for entry in self.stale_log],
+            "uploads_sent": self.uploads_sent,
+            "last_event_time": self.last_event_time,
+            "diverged_at": self.diverged_at,
+            "diverged_loss": self.diverged_loss,
+            "edge_records": [
+                {
+                    "edge": r.edge,
+                    "round_index": r.round_index,
+                    "start_time": r.start_time,
+                    "finish_time": r.finish_time,
+                    "workers_included": list(r.workers_included),
+                    "workers_late": list(r.workers_late),
+                    "workers_stale": list(r.workers_stale),
+                }
+                for r in self._edge_records
+            ],
+            "cloud_records": [
+                {
+                    "round_index": r.round_index,
+                    "start_time": r.start_time,
+                    "finish_time": r.finish_time,
+                    "edges_included": list(r.edges_included),
+                    "stale_uploads": list(r.stale_uploads),
+                }
+                for r in self._cloud_records
+            ],
+            "rng": self.rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this runner."""
+        self._clock = np.asarray(state["clock"], dtype=float)
+        self._phase = [int(p) for p in state["phase"]]
+        self._version = [int(v) for v in state["version"]]
+        self._steps_left = [int(s) for s in state["steps_left"]]
+        self._fresh = [
+            {int(w): float(t) for w, t in group.items()}
+            for group in state["fresh"]
+        ]
+        self._stale = [
+            {int(w): int(v) for w, v in group.items()}
+            for group in state["stale"]
+        ]
+        self._lost = [{int(w) for w in s} for s in state["lost"]]
+        self._inflight = [{int(w) for w in s} for s in state["inflight"]]
+        self._pending_transfers = [
+            int(n) for n in state["pending_transfers"]
+        ]
+        self._closing = [bool(c) for c in state["closing"]]
+        self._next_round = [int(r) for r in state["next_round"]]
+        self._completed = [int(r) for r in state["completed"]]
+        self._stale_since_cloud = [
+            {int(w) for w in s} for s in state["stale_since_cloud"]
+        ]
+        self._cloud_wait = {
+            int(g): (float(ready), {int(w) for w in recv})
+            for g, (ready, recv) in state["cloud_wait"].items()
+        }
+        self._cloud_round = int(state["cloud_round"])
+        self._notified = int(state["notified"])
+        self._worker_masks = {
+            int(t): None if mask is None else np.asarray(mask, dtype=bool)
+            for t, mask in state["worker_masks"].items()
+        }
+        self.queue.load_state_dict(state["queue"])
+        self.stale_log = [
+            tuple(int(x) for x in entry) for entry in state["stale_log"]
+        ]
+        self.uploads_sent = int(state["uploads_sent"])
+        self.last_event_time = float(state["last_event_time"])
+        raw = state["diverged_at"]
+        self.diverged_at = None if raw is None else int(raw)
+        self.diverged_loss = float(state["diverged_loss"])
+        self._edge_records = [
+            EdgeRoundRecord(
+                edge=int(r["edge"]),
+                round_index=int(r["round_index"]),
+                start_time=float(r["start_time"]),
+                finish_time=float(r["finish_time"]),
+                workers_included=tuple(
+                    int(w) for w in r["workers_included"]
+                ),
+                workers_late=tuple(int(w) for w in r["workers_late"]),
+                workers_stale=tuple(int(w) for w in r["workers_stale"]),
+            )
+            for r in state["edge_records"]
+        ]
+        self._cloud_records = [
+            CloudRoundRecord(
+                round_index=int(r["round_index"]),
+                start_time=float(r["start_time"]),
+                finish_time=float(r["finish_time"]),
+                edges_included=tuple(int(e) for e in r["edges_included"]),
+                stale_uploads=tuple(int(w) for w in r["stale_uploads"]),
+            )
+            for r in state["cloud_records"]
+        ]
+        self.rng.bit_generator.state = state["rng"]
+        # Don't immediately re-save the round we restored from.
+        self._ckpt_notified = self._notified

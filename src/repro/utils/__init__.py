@@ -5,6 +5,7 @@ from repro.utils.flatten import (
     unflatten_like,
     zeros_like_flat,
 )
+from repro.utils.io import atomic_write_text, replace_into
 from repro.utils.rng import RngStreams, child_seed, make_rng
 from repro.utils.validation import (
     check_fraction,
@@ -21,6 +22,8 @@ __all__ = [
     "flatten_arrays",
     "unflatten_like",
     "zeros_like_flat",
+    "replace_into",
+    "atomic_write_text",
     "check_fraction",
     "check_in_range",
     "check_positive",

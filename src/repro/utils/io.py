@@ -1,0 +1,50 @@
+"""Crash-safe file writes: temp file in the destination directory plus
+an atomic rename.
+
+A process killed mid-write must never leave a half-written artifact
+under the final name — readers would see truncated JSON/npz and fail in
+confusing ways far from the crash.  Writing to a temp file *in the same
+directory* and ``os.replace``-ing it over the destination makes the
+swap atomic on POSIX (same filesystem), so the destination always holds
+either the previous complete version or the new complete version.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["replace_into", "atomic_write_text"]
+
+
+@contextmanager
+def replace_into(path: str | Path):
+    """Yield a temp path next to ``path``; atomically rename on success.
+
+    On any failure inside the block the temp file is removed and the
+    destination is left untouched.
+    """
+    target = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent
+    )
+    os.close(fd)
+    try:
+        yield Path(tmp)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(
+    path: str | Path, text: str, *, encoding: str = "utf-8"
+) -> None:
+    """``Path.write_text`` with the all-or-nothing guarantee."""
+    with replace_into(path) as tmp:
+        tmp.write_text(text, encoding=encoding)

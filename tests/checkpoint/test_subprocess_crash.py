@@ -1,0 +1,120 @@
+"""Hard-kill recovery: SIGKILL a real ``repro run``, resume, verify.
+
+The in-process crash tests cooperate with the driver (``InjectedCrash``
+unwinds the stack normally).  SIGKILL is the adversarial case: the
+process dies between syscalls, with no chance to flush or clean up.
+The write-then-rename format must still leave the newest *renamed*
+checkpoint loadable, and ``repro run --resume`` must finish the run
+with exactly the history an uninterrupted run produces.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint.format import latest_checkpoint, list_checkpoints
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_single
+from repro.metrics import load_history
+
+pytestmark = pytest.mark.checkpoint
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+TOTAL_ITERATIONS = 400
+CHECKPOINT_EVERY = 3
+
+# CLI flags and the equivalent in-process config MUST stay in sync:
+# the golden run below replays exactly what the subprocess computes.
+CLI_ARGS = [
+    "--algorithm", "HierAdMo",
+    "--model", "logistic",
+    "--samples", "400",
+    "--iterations", str(TOTAL_ITERATIONS),
+    "--eta", "0.05",
+    "--tau", "3",
+    "--pi", "2",
+    "--seed", "0",
+]
+CONFIG = ExperimentConfig(
+    model="logistic",
+    num_samples=400,
+    total_iterations=TOTAL_ITERATIONS,
+    eta=0.05,
+    tau=3,
+    pi=2,
+    seed=0,
+)
+
+
+def launch(checkpoint_dir, *extra):
+    env = dict(os.environ, PYTHONPATH=SRC_DIR)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "run", *CLI_ARGS,
+            "--checkpoint-dir", str(checkpoint_dir),
+            "--checkpoint-every", str(CHECKPOINT_EVERY),
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def test_sigkill_leaves_loadable_checkpoint_and_resume_completes(
+    tmp_path,
+):
+    checkpoint_dir = tmp_path / "ckpts"
+    victim = launch(checkpoint_dir)
+    deadline = time.monotonic() + 120
+    try:
+        while time.monotonic() < deadline:
+            if len(list_checkpoints(checkpoint_dir)) >= 2:
+                break
+            if victim.poll() is not None:
+                pytest.fail(
+                    "run finished before it could be killed:\n"
+                    + victim.stdout.read()
+                )
+            time.sleep(0.01)
+        else:
+            pytest.fail("no checkpoint appeared within 120s")
+        # Mid-save is the interesting moment; no draining, no warning.
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait()
+        victim.stdout.close()
+
+    found = latest_checkpoint(checkpoint_dir)
+    assert found is not None, "SIGKILL left no loadable checkpoint"
+    _, manifest, _ = found
+    assert manifest["algorithm"] == "HierAdMo"
+    killed_at = manifest["iteration"]
+    assert 0 < killed_at < TOTAL_ITERATIONS
+    assert killed_at % CHECKPOINT_EVERY == 0
+
+    save_path = tmp_path / "history.json"
+    finisher = launch(
+        checkpoint_dir, "--resume", "--save", str(save_path)
+    )
+    output, _ = finisher.communicate(timeout=580)
+    assert finisher.returncode == 0, output
+
+    resumed = load_history(save_path)
+    golden = run_single("HierAdMo", CONFIG)
+    assert resumed.iterations == golden.iterations
+    assert resumed.iterations[-1] == TOTAL_ITERATIONS
+    # JSON round-trips float64 exactly, so equality here is bitwise.
+    assert resumed.test_accuracy == golden.test_accuracy
+    assert resumed.test_loss == golden.test_loss
+    assert resumed.train_loss[1:] == golden.train_loss[1:]

@@ -115,7 +115,14 @@ class TestBuildAlgorithm:
         config = ExperimentConfig(**FAST)
         federation = build_federation(config)
         with pytest.raises(ValueError, match="unknown algorithm"):
-            build_algorithm("FedProx", federation, config)
+            build_algorithm("NoSuchAlgorithm", federation, config)
+
+    def test_extension_registry_names_build(self):
+        config = ExperimentConfig(**FAST)
+        federation = build_federation(config)
+        for name in ("FedProx", "SampledFedAvg", "QuantizedHierFAVG"):
+            algorithm = build_algorithm(name, federation, config)
+            assert type(algorithm).__name__ == name
 
     def test_is_three_tier(self):
         assert is_three_tier("HierAdMo")

@@ -78,3 +78,64 @@ class TestRoundtrip:
         json.dumps(payload)
         restored = history_from_dict(payload)
         assert restored.iterations == [5]
+
+
+class TestAtomicWrites:
+    def test_save_history_leaves_no_temp_files(self, history, tmp_path):
+        save_history(history, tmp_path / "run.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["run.json"]
+
+
+class TestTraceTruncation:
+    """A crash mid-append truncates the final JSONL record; the
+    complete prefix must still load.  Corruption anywhere *else* is a
+    real integrity problem and must keep raising."""
+
+    def write_trace(self, path):
+        from repro.metrics import save_trace_jsonl
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+        with tracer.span("phase"):
+            tracer.count("hits", 3)
+        tracer.observe("latency", 1.5)
+        save_trace_jsonl(tracer, path)
+        return path
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        from repro.metrics import load_trace_jsonl
+
+        path = self.write_trace(tmp_path / "trace.jsonl")
+        full = load_trace_jsonl(path)
+        text = path.read_text()
+        # Chop mid-way through the last record, as a dying process would.
+        lines = text.splitlines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]
+        path.write_text("\n".join(lines))
+        partial = load_trace_jsonl(path)
+        assert partial["counters"] == full["counters"]
+        assert len(partial["spans"]) == len(full["spans"])
+        # The damaged record (here the histogram) is simply absent.
+        assert partial["histograms"] == {}
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        import json as json_module
+
+        from repro.metrics import load_trace_jsonl
+
+        path = self.write_trace(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:5]
+        path.write_text("\n".join(lines))
+        with pytest.raises(json_module.JSONDecodeError):
+            load_trace_jsonl(path)
+
+    def test_trailing_blank_lines_ignored(self, tmp_path):
+        from repro.metrics import load_trace_jsonl
+
+        path = self.write_trace(tmp_path / "trace.jsonl")
+        full = load_trace_jsonl(path)
+        path.write_text(path.read_text() + "\n\n")
+        again = load_trace_jsonl(path)
+        assert again["counters"] == full["counters"]
+        assert again["histograms"] == full["histograms"]

@@ -6,6 +6,8 @@ import pytest
 
 from repro.monitoring import (
     ALERT,
+    CHECKPOINT_RESTORED,
+    CHECKPOINT_SAVED,
     CLOUD_ROUND,
     EDGE_ROUND,
     EVAL,
@@ -22,6 +24,7 @@ class TestKinds:
     def test_all_kinds_listed(self):
         assert set(EVENT_KINDS) == {
             RUN_START, EVAL, EDGE_ROUND, CLOUD_ROUND, ALERT, RUN_END,
+            CHECKPOINT_SAVED, CHECKPOINT_RESTORED,
         }
 
     def test_kinds_are_distinct(self):

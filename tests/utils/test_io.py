@@ -1,0 +1,41 @@
+"""Atomic file-write primitives (``repro.utils.io``)."""
+
+import pytest
+
+from repro.utils.io import atomic_write_text, replace_into
+
+
+class TestReplaceInto:
+    def test_success_replaces_target(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        target.write_text("old")
+        with replace_into(target) as tmp:
+            tmp.write_text("new")
+        assert target.read_text() == "new"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_failure_preserves_target_and_cleans_temp(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        target.write_text("old")
+        with pytest.raises(RuntimeError, match="boom"):
+            with replace_into(target) as tmp:
+                tmp.write_text("half-writ")
+                raise RuntimeError("boom")
+        assert target.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_creates_new_file(self, tmp_path):
+        target = tmp_path / "fresh.txt"
+        with replace_into(target) as tmp:
+            tmp.write_text("content")
+        assert target.read_text() == "content"
+
+
+class TestAtomicWriteText:
+    def test_writes_and_overwrites(self, tmp_path):
+        target = tmp_path / "report.txt"
+        atomic_write_text(target, "first")
+        assert target.read_text() == "first"
+        atomic_write_text(target, "second")
+        assert target.read_text() == "second"
+        assert [p.name for p in tmp_path.iterdir()] == ["report.txt"]

@@ -41,6 +41,9 @@ GATES = {
         "gradient_pass_16worker_mlp": [("speedup", "higher_better")],
         "batched_cnn": [("speedup", "higher_better")],
     },
+    "checkpoint": {
+        "checkpoint_overhead": [("overhead", "within_threshold")],
+    },
     "eventsim": {
         "engine_event_throughput": [("events_per_second", "higher_better")],
     },
