@@ -1,0 +1,107 @@
+"""Virtual-population scaling benchmark (PR acceptance: bounded RSS).
+
+A million *registered* clients must cost what the *cohort* costs: the
+registry stores metadata only, shards are generated on demand, and the
+federation's stacked buffers hold one row per materialized slot.  This
+bench trains the same fixed cohort (4 edges x 64 clients = 256 slots,
+always <= 256) over populations of 10k, 100k and 1M registered
+clients and records rounds/sec plus resident memory at each scale.
+
+The gated number is the RSS ratio between the 1M and 10k runs: if any
+per-client state leaked into the registry or binder, a 100x population
+step would blow the ratio far past the committed threshold (a
+fully-materialized design would sit near 100x).  Raw throughput is
+recorded ungated — it shifts with the machine; the ratio does not.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.algorithms import FedAvg
+from repro.data.shards import PrototypeShards
+from repro.nn.models import make_logistic_regression
+from repro.population import ClientRegistry, PopulationBinder
+from repro.utils.memory import current_rss_bytes, peak_rss_bytes
+
+from .recorder import record_bench
+
+# 4 edges x 64 per edge: fixed cohort of 256 materialized slots.
+NUM_EDGES = 4
+COHORT_PER_EDGE = 64
+TAU = 5
+ITERATIONS = 15  # three rebind periods per run
+MAX_RSS_RATIO = 1.5
+
+SIZES = (("10k", 10_000), ("100k", 100_000), ("1m", 1_000_000))
+
+
+def _train_once(population: int) -> dict:
+    shards = PrototypeShards(
+        population,
+        num_features=32,
+        num_classes=10,
+        samples_per_client=64,
+        seed=11,
+    )
+    registry = ClientRegistry.from_shards(shards, NUM_EDGES, uniform=True)
+    binder = PopulationBinder(
+        registry, shards, cohort_per_edge=COHORT_PER_EDGE, seed=11
+    )
+    model = make_logistic_regression(32, 10, rng=4)
+    binder.build_federation(model, shards.test_set(256), batch_size=32)
+    algorithm = FedAvg(binder.fed, eta=0.05, tau=TAU)
+    algorithm.attach_population(binder)
+
+    start = time.perf_counter()
+    algorithm.run(ITERATIONS, eval_every=ITERATIONS)
+    elapsed = time.perf_counter() - start
+
+    assert binder.fed.num_workers == NUM_EDGES * COHORT_PER_EDGE
+    gc.collect()
+    return {
+        "population": population,
+        "cohort": NUM_EDGES * COHORT_PER_EDGE,
+        "iterations": ITERATIONS,
+        "elapsed_s": elapsed,
+        "rounds_per_sec": (ITERATIONS / TAU) / elapsed,
+        "iterations_per_sec": ITERATIONS / elapsed,
+        "rss_bytes": current_rss_bytes(),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "materialized": len(binder._seen),
+    }
+
+
+def test_bench_population_scaling():
+    """RSS is bounded by the cohort, not the registered population."""
+    _train_once(10_000)  # warm-up: imports, BLAS pools, pymalloc arenas
+    results = {}
+    print(
+        "\n[bench] virtual population scaling "
+        f"(cohort {NUM_EDGES * COHORT_PER_EDGE}, tau {TAU})"
+    )
+    for label, population in SIZES:
+        results[label] = _train_once(population)
+        entry = results[label]
+        print(
+            f"  {label:>4}: {entry['rounds_per_sec']:7.2f} rounds/s, "
+            f"rss {entry['rss_bytes'] / 2**20:7.1f} MiB, "
+            f"{entry['materialized']} clients materialized"
+        )
+        record_bench("population", f"scaling_{label}", entry)
+
+    ratio = results["1m"]["rss_bytes"] / results["10k"]["rss_bytes"]
+    print(
+        f"  rss ratio 1m/10k: {ratio:.3f} (threshold {MAX_RSS_RATIO})"
+    )
+    record_bench("population", "bounded_memory", {
+        "rss_ratio_1m_over_10k": ratio,
+        "rss_10k_bytes": results["10k"]["rss_bytes"],
+        "rss_1m_bytes": results["1m"]["rss_bytes"],
+        "threshold": MAX_RSS_RATIO,
+    })
+    assert ratio <= MAX_RSS_RATIO, (
+        f"RSS grew {ratio:.2f}x from 10k to 1M registered clients; "
+        "population-sized state leaked outside the cohort"
+    )

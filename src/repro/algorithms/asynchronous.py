@@ -123,19 +123,32 @@ class AsyncExecutionMixin:
                 self._gamma_pending.pop(round_index, {})
             )
         t = min(round_index * self.tau, self._total_iterations)
-        if t % self._eval_every != 0 and t != self._total_iterations:
-            return
-        accuracy, loss = self.fed.evaluate(self._global_eval_params())
-        train = (
-            self._loss_sum / self._loss_count
-            if self._loss_count
-            else float("nan")
-        )
-        self.history.record_eval(t, accuracy, loss, train_loss=train)
-        self.history.eval_times.append(float(time))
-        self._loss_sum = 0.0
-        self._loss_count = 0
-        self._emit_eval(t, accuracy, loss, train, sim_time=float(time))
+        if t % self._eval_every == 0 or t == self._total_iterations:
+            accuracy, loss = self.fed.evaluate(self._global_eval_params())
+            train = (
+                self._loss_sum / self._loss_count
+                if self._loss_count
+                else float("nan")
+            )
+            self.history.record_eval(t, accuracy, loss, train_loss=train)
+            self.history.eval_times.append(float(time))
+            self._loss_sum = 0.0
+            self._loss_count = 0
+            self._emit_eval(t, accuracy, loss, train, sim_time=float(time))
+        # Round barriers are the async analogue of the lockstep rebind
+        # point: every group has aggregated and redistributed, so slot
+        # adoption sees broadcast-coherent rows.  Runs before the
+        # engine's checkpoint hook for the same snapshot-after-rebind
+        # guarantee the lockstep driver gives.
+        population = self.population
+        if (
+            population is not None
+            and t % population.resample_every == 0
+            and t < self._total_iterations
+        ):
+            population.resample(
+                self, t // population.resample_every, iteration=t
+            )
 
     def monitor_round_data(self, group: int, round_index: int) -> dict:
         """Algorithm payload for the engine's ``edge_round`` events."""
@@ -274,6 +287,8 @@ class AsyncExecutionMixin:
         self._async_setup()
         self._eval_every = eval_every
         self._total_iterations = total_iterations
+        if self.population is not None:
+            self.population.reset(self)
         if resume_from is not None:
             resume_from.apply(self)
         self._emit_run_start(total_iterations, eval_every)

@@ -36,6 +36,9 @@ class QuantizedHierFAVG(HierFAVG):
 
     CKPT_ARRAYS = HierFAVG.CKPT_ARRAYS + ("worker_sync", "edge_sync")
     CKPT_VALUES = ("uplink_payload_bytes",)
+    # The delta-compression reference row follows the client: a
+    # returning client resumes its deltas against its own last sync.
+    CLIENT_STATE = ("worker_sync",)
 
     def __init__(
         self,

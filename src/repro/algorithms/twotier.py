@@ -188,6 +188,8 @@ class FedNAG(TwoTierAlgorithm):
     name = "FedNAG"
     payload_multiplier = 2.0  # ships model + momentum each round
     CKPT_ARRAYS = TwoTierAlgorithm.CKPT_ARRAYS + ("y",)
+    # The NAG momentum row follows the client across cohort evictions.
+    CLIENT_STATE = ("y",)
 
     def __init__(
         self,
@@ -448,6 +450,8 @@ class FedADC(TwoTierAlgorithm):
         "server_momentum",
         "local_momentum",
     )
+    # The drift-control buffer is per-client state across cohorts.
+    CLIENT_STATE = ("local_momentum",)
 
     def __init__(
         self,
@@ -522,6 +526,8 @@ class FastSlowMo(TwoTierAlgorithm):
         "server_params",
         "slow_momentum",
     )
+    # The fast (worker NAG) momentum row follows the client.
+    CLIENT_STATE = ("y",)
 
     def __init__(
         self,

@@ -118,6 +118,20 @@ class RestoredRun:
         algorithm.restore_arrays(algo_arrays)
         algorithm.restore_values(manifest["state"]["values"])
         algorithm.restore_extra(manifest["state"]["extra"])
+        # Population rebinding must land between the algorithm arrays
+        # (the slot rows already hold the checkpointed cohort's state)
+        # and the federation's sampler states (which overwrite the
+        # rebound per-client samplers with the exact saved cursors).
+        population = getattr(algorithm, "population", None)
+        if manifest.get("population") is not None:
+            if population is None:
+                raise CheckpointError(
+                    "checkpoint holds virtual-population state but the "
+                    "rebuilt algorithm has no population binder attached"
+                )
+            population.restore(
+                algorithm, manifest["population"], self.arrays
+            )
         restore_federation(fed, manifest["federation"], self.arrays)
         if manifest.get("faults") is not None and algorithm.faults is not None:
             restore_injector(
@@ -180,6 +194,11 @@ class CheckpointManager:
         }
         fed_values, fed_arrays = federation_state(algorithm.fed)
         arrays.update(fed_arrays)
+        population = getattr(algorithm, "population", None)
+        pop_values = None
+        if population is not None:
+            pop_values, pop_arrays = population.state()
+            arrays.update(pop_arrays)
         fault_values = None
         if algorithm.faults is not None:
             fault_values, fault_arrays = injector_state(algorithm.faults)
@@ -197,6 +216,7 @@ class CheckpointManager:
             "eval_every": int(eval_every),
             "state": {"values": values, "extra": extra},
             "federation": fed_values,
+            "population": pop_values,
             "faults": fault_values,
             "history": history_to_dict(history),
             "accuracy": accuracy,

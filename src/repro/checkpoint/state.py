@@ -63,8 +63,18 @@ def _norm_layers(model):
     ]
 
 
+def _dropout_layers(model):
+    from repro.nn.dropout import Dropout
+
+    return [
+        layer
+        for layer in model.module.modules()
+        if isinstance(layer, Dropout) and layer.p > 0.0
+    ]
+
+
 def federation_state(federation) -> tuple[dict, dict[str, np.ndarray]]:
-    """Snapshot sampler RNG cursors and BatchNorm running buffers."""
+    """Snapshot sampler RNG cursors, BatchNorm buffers and dropout RNGs."""
     values: dict = {"samplers": []}
     arrays: dict[str, np.ndarray] = {}
     for index, sampler in enumerate(federation.samplers):
@@ -80,6 +90,11 @@ def federation_state(federation) -> tuple[dict, dict[str, np.ndarray]]:
     for index, layer in enumerate(_norm_layers(federation.model)):
         for key, buffer in layer.get_buffers().items():
             arrays[f"fed:bn{index}:{key}"] = np.asarray(buffer)
+    dropout = _dropout_layers(federation.model)
+    if dropout:
+        # Live dropout masks consume a training-only RNG stream that
+        # must resume exactly where the snapshot left it.
+        values["dropout"] = [rng_state(layer.rng) for layer in dropout]
     return values, arrays
 
 
@@ -113,6 +128,19 @@ def restore_federation(
             for key in buffers
         }
         layer.set_buffers(restored)
+    # ``.get``: checkpoints written before dropout-RNG capture restore
+    # everything else (they could not have trained live dropout models
+    # bit-exactly anyway).
+    dropout_states = values.get("dropout")
+    if dropout_states:
+        layers = _dropout_layers(federation.model)
+        if len(dropout_states) != len(layers):
+            raise ValueError(
+                f"checkpoint has {len(dropout_states)} dropout layers, "
+                f"model has {len(layers)}"
+            )
+        for layer, state in zip(layers, dropout_states):
+            set_rng_state(layer.rng, state)
 
 
 # ----------------------------------------------------------------------

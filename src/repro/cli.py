@@ -49,6 +49,20 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pi", type=int, default=2)
     parser.add_argument("--iterations", type=int, default=300)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--population", type=int, default=0,
+        help="registered virtual clients (0 = classic materialized "
+             "federation); split evenly over the edges",
+    )
+    parser.add_argument(
+        "--cohort-per-edge", type=int, default=0,
+        help="materialized cohort slots per edge (default: "
+             "--workers-per-edge)",
+    )
+    parser.add_argument(
+        "--samples-per-client", type=int, default=64,
+        help="synthetic shard size per virtual client",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -65,6 +79,9 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         pi=args.pi,
         total_iterations=args.iterations,
         seed=args.seed,
+        population=args.population,
+        cohort_per_edge=args.cohort_per_edge,
+        samples_per_client=args.samples_per_client,
     )
 
 

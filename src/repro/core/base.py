@@ -24,6 +24,7 @@ from repro.monitoring.events import CHECKPOINT_RESTORED
 from repro.monitoring.health import MonitorAbort
 from repro.monitoring.monitor import get_monitor
 from repro.telemetry import get_tracer
+from repro.utils.memory import peak_rss_bytes
 from repro.utils.validation import check_positive, check_positive_int
 
 __all__ = ["FLAlgorithm"]
@@ -59,6 +60,10 @@ class FLAlgorithm:
         self.faults: FaultInjector | None = None
         self.degradation = "renormalize"
         self._up_mask: np.ndarray | None = None
+        # Virtual-population binder (off by default): when attached,
+        # the run driver rebinds the materialized cohort at every
+        # resample boundary (see repro.population.binder).
+        self.population = None
         # Index into the active monitor's alert list at run start, so
         # only this run's alerts land on its history.
         self._alert_mark = 0
@@ -85,6 +90,24 @@ class FLAlgorithm:
             )
         self.degradation = check_policy(policy)
         return self.faults
+
+    def attach_population(self, binder):
+        """Attach a virtual-population binder to this run.
+
+        The binder must own this algorithm's federation (its slot pool
+        maps into the same stacked buffers).  ``resample_every``
+        defaults to the algorithm's round length ``tau`` so cohorts
+        change exactly at aggregation boundaries, where worker rows are
+        broadcast-equal and slot adoption is well-defined.
+        """
+        if binder.fed is not self.fed:
+            raise ValueError(
+                "population binder was built for a different federation"
+            )
+        if binder.resample_every is None:
+            binder.resample_every = int(getattr(self, "tau", 1))
+        self.population = binder
+        return binder
 
     def _iteration_rows(self) -> np.ndarray | None:
         """Up-worker indices this iteration (``None`` = all workers)."""
@@ -113,6 +136,13 @@ class FLAlgorithm:
     # buffers recomputed every step (like ``_grads``) are excluded.
     CKPT_ARRAYS: tuple[str, ...] = ()
     CKPT_VALUES: tuple[str, ...] = ()
+    # Per-client persistent state: the (num_workers, dim) arrays whose
+    # rows belong to the *client* bound to a slot, not to the slot
+    # itself (momentum/optimizer buffers).  The population binder
+    # carries these rows for evicted clients and restores them
+    # bit-exactly on return.  The model row ``x`` is excluded by
+    # design: rejoining clients adopt the current broadcast model.
+    CLIENT_STATE: tuple[str, ...] = ()
 
     def _ckpt_resolve(self, name: str):
         obj = self
@@ -200,6 +230,7 @@ class FLAlgorithm:
             "worker_edge_bytes": comm.worker_edge_bytes,
             "edge_cloud_bytes": comm.edge_cloud_bytes,
             "total_bytes": comm.total_bytes,
+            "peak_rss_bytes": peak_rss_bytes(),
         }
         if self.faults is not None:
             data["fault_events"] = int(sum(self.faults.counts.values()))
@@ -307,6 +338,9 @@ class FLAlgorithm:
         self._up_mask = None
 
         self._setup()
+        population = self.population
+        if population is not None:
+            population.reset(self)
         if resume_from is not None:
             resume_from.apply(self)
         self._emit_run_start(total_iterations, eval_every)
@@ -362,6 +396,17 @@ class FLAlgorithm:
                     self._emit_eval(t, accuracy, loss, train_loss)
                     running_loss = 0.0
                     since_eval = 0
+                # Cohort rebinding runs before the checkpoint block so
+                # a snapshot at t always captures the post-rebind slot
+                # pool and resume never misses a membership change.
+                if (
+                    population is not None
+                    and t % population.resample_every == 0
+                    and t < total_iterations
+                ):
+                    population.resample(
+                        self, t // population.resample_every, iteration=t
+                    )
                 if checkpoints is not None:
                     monitor = get_monitor()
                     alerts_now = (

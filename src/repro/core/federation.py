@@ -126,6 +126,40 @@ class Federation:
         # stacked (W, B, ...) tensor is built once and cached.
         self._full_batch_stack: tuple[np.ndarray, np.ndarray] | None = None
 
+    # ------------------------------------------------------------------
+    # Worker rebinding (virtual populations)
+    # ------------------------------------------------------------------
+    def rebind_worker(self, slot, dataset, sampler) -> None:
+        """Swap one worker slot's dataset and mini-batch sampler.
+
+        The population layer materializes cohort clients into existing
+        worker slots; only the data binding changes — stacked state
+        rows, topology position and engine stay put.  Invalidates the
+        cached full-batch stack (the slot's arrays changed).
+        """
+        self.worker_datasets[slot] = dataset
+        self.samplers[slot] = sampler
+        self._full_batch_stack = None
+
+    def refresh_weights(self) -> None:
+        """Recompute aggregation weights from the current datasets.
+
+        Called after rebinding when shard sizes differ across clients:
+        the weights then reflect the materialized cohort's sample
+        counts (renormalized within edge and globally, the same
+        re-weighting ``SampledFedAvg`` applies to its participants).
+        """
+        partitions = [
+            self.worker_datasets[block] for block in self.edge_slices
+        ]
+        self.topology = Topology.from_partitions(partitions)
+        self.edge_w = self.topology.edge_weights()
+        self.worker_w_in_edge = [
+            self.topology.worker_weights(edge)
+            for edge in range(self.topology.num_edges)
+        ]
+        self.global_worker_w = self.topology.global_worker_weights()
+
     def _stackable(self) -> bool:
         """True when every worker's batches stack into one (W, B, ...)."""
         sizes = {sampler.batch_size for sampler in self.samplers}

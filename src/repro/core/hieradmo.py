@@ -55,6 +55,15 @@ class HierAdMo(FLAlgorithm):
         "velocity_norms",
         "gradient_step_norms",
     )
+    # Per-client rows the population binder carries across cohort
+    # evictions: the worker NAG momentum and the γℓ-controller's
+    # per-worker accumulators (x is adopted from the broadcast).
+    CLIENT_STATE = (
+        "y",
+        "controller.grad_sums",
+        "controller.momentum_sums",
+        "controller._boundary",
+    )
 
     def __init__(
         self,

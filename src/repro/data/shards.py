@@ -1,0 +1,129 @@
+"""On-demand per-client data shards for virtual populations.
+
+A million-client federation cannot pre-materialize a million
+:class:`~repro.data.base.Dataset` objects.  A *shard provider* instead
+answers ``shard(client_id)`` lazily: only the clients of the currently
+sampled cohort hold live arrays, everything else exists as a seed.
+
+Two providers cover the library's needs:
+
+* :class:`ListShards` wraps an explicit list of pre-built datasets —
+  the bridge between the existing partitioners (``partition_xclass``
+  etc.) and the virtual-population layer, used when the registered
+  population is small enough to keep in memory (and by the
+  golden-equivalence tests, which must serve byte-identical data).
+* :class:`PrototypeShards` synthesizes each client's shard from shared
+  class prototypes and a per-client child seed
+  (``child_seed(seed, "shard", client_id)``), so a shard is a pure
+  function of ``(provider config, client_id)``: rebuilding it after an
+  eviction or a crash/resume yields bit-identical arrays.  Memory is
+  O(prototypes + one shard), independent of the registered population.
+
+Both providers expose ``shard_size(client_id)`` without materializing
+the shard, which the population layer uses for aggregation weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.base import Dataset
+from repro.utils.rng import child_seed
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ListShards", "PrototypeShards"]
+
+
+class ListShards:
+    """Shard provider over an explicit list of pre-built datasets."""
+
+    def __init__(self, datasets: list[Dataset]):
+        if not datasets:
+            raise ValueError("ListShards needs at least one dataset")
+        self.datasets = list(datasets)
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.datasets)
+
+    def shard(self, client_id: int) -> Dataset:
+        return self.datasets[client_id]
+
+    def shard_size(self, client_id: int) -> int:
+        return len(self.datasets[client_id])
+
+
+class PrototypeShards:
+    """Synthetic shards generated on demand from shared class prototypes.
+
+    The prototypes are drawn once from ``child_seed(seed, "prototypes")``
+    (a Gaussian per class, the same construction as
+    :func:`repro.data.synthetic.make_synthetic_mnist` uses for its class
+    centers); each client's shard draws its labels and feature noise
+    from ``child_seed(seed, "shard", client_id)``.  ``classes_per_client``
+    restricts each client to a deterministic class subset for a
+    non-i.i.d. population.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        *,
+        num_features: int = 32,
+        num_classes: int = 10,
+        samples_per_client: int = 64,
+        classes_per_client: int | None = None,
+        noise: float = 0.5,
+        seed: int = 0,
+    ):
+        self.num_clients = check_positive_int(num_clients, "num_clients")
+        self.num_features = check_positive_int(num_features, "num_features")
+        self.num_classes = check_positive_int(num_classes, "num_classes")
+        self.samples_per_client = check_positive_int(
+            samples_per_client, "samples_per_client"
+        )
+        if classes_per_client is not None:
+            check_positive_int(classes_per_client, "classes_per_client")
+            classes_per_client = min(classes_per_client, num_classes)
+        self.classes_per_client = classes_per_client
+        self.noise = float(noise)
+        self.seed = int(seed)
+        proto_rng = np.random.default_rng(
+            child_seed(self.seed, "prototypes")
+        )
+        self.prototypes = proto_rng.normal(
+            size=(self.num_classes, self.num_features)
+        )
+
+    def shard(self, client_id: int) -> Dataset:
+        if not 0 <= client_id < self.num_clients:
+            raise IndexError(
+                f"client {client_id} out of range [0, {self.num_clients})"
+            )
+        rng = np.random.default_rng(
+            child_seed(self.seed, "shard", client_id)
+        )
+        if self.classes_per_client is None:
+            classes = np.arange(self.num_classes)
+        else:
+            classes = rng.choice(
+                self.num_classes, size=self.classes_per_client, replace=False
+            )
+        y = rng.choice(classes, size=self.samples_per_client)
+        x = self.prototypes[y] + self.noise * rng.normal(
+            size=(self.samples_per_client, self.num_features)
+        )
+        return Dataset(x, y, self.num_classes, name=f"shard{client_id}")
+
+    def shard_size(self, client_id: int) -> int:
+        return self.samples_per_client
+
+    def test_set(self, num_samples: int, *, seed_name: str = "test") -> Dataset:
+        """A shared held-out set drawn from the same prototypes."""
+        check_positive_int(num_samples, "num_samples")
+        rng = np.random.default_rng(child_seed(self.seed, seed_name))
+        y = rng.integers(self.num_classes, size=num_samples)
+        x = self.prototypes[y] + self.noise * rng.normal(
+            size=(num_samples, self.num_features)
+        )
+        return Dataset(x, y, self.num_classes, name="shard-test")

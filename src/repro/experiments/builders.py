@@ -152,7 +152,17 @@ def build_model(
 
 
 def build_federation(config: ExperimentConfig) -> Federation:
-    """Full federation for a config (fresh model + fresh samplers)."""
+    """Full federation for a config (fresh model + fresh samplers).
+
+    With ``config.population > 0`` the federation is built through a
+    virtual-population binder instead: ``population`` registered
+    clients on synthetic per-client shards, of which ``cohort_per_edge``
+    per edge are materialized.  The binder rides on the returned
+    federation as ``federation.population_binder`` and is attached to
+    the algorithm by :func:`build_algorithm`.
+    """
+    if config.population > 0:
+        return _build_virtual_federation(config)
     edge_partitions, test = build_datasets(config)
     model = build_model(config, test)
     return Federation(
@@ -164,6 +174,43 @@ def build_federation(config: ExperimentConfig) -> Federation:
     )
 
 
+def _build_virtual_federation(config: ExperimentConfig) -> Federation:
+    from repro.data.shards import PrototypeShards
+    from repro.population import ClientRegistry, PopulationBinder
+
+    shards = PrototypeShards(
+        config.population,
+        num_features=32,
+        num_classes=10,
+        samples_per_client=config.samples_per_client,
+        classes_per_client=config.classes_per_worker,
+        seed=config.seed,
+    )
+    registry = ClientRegistry.from_shards(
+        shards, config.num_edges, uniform=True
+    )
+    cohort = config.cohort_per_edge or config.workers_per_edge
+    binder = PopulationBinder(
+        registry,
+        shards,
+        cohort_per_edge=cohort,
+        seed=config.seed,
+    )
+    test = shards.test_set(max(64, config.samples_per_client * 4))
+    if needs_flat_features(config.model):
+        model = build_model(config, test)
+    else:
+        raise ValueError(
+            "virtual populations currently support flat-feature models "
+            f"(linear/logistic), got {config.model!r}"
+        )
+    federation = binder.build_federation(
+        model, test, batch_size=config.batch_size
+    )
+    federation.population_binder = binder
+    return federation
+
+
 def build_algorithm(
     name: str, federation: Federation, config: ExperimentConfig
 ) -> FLAlgorithm:
@@ -172,7 +219,20 @@ def build_algorithm(
     Three-tier algorithms receive (τ, π); two-tier baselines receive the
     matched τ·π (the paper's fairness rule).  Momentum factors map to the
     paper's γ = γℓ = 0.5 defaults unless the config overrides them.
+    A federation built through the virtual-population path carries its
+    binder along; it is attached here so every construction site (CLI,
+    runners, checkpoint ``restore``) gets population support for free.
     """
+    algorithm = _construct_algorithm(name, federation, config)
+    binder = getattr(federation, "population_binder", None)
+    if binder is not None:
+        algorithm.attach_population(binder)
+    return algorithm
+
+
+def _construct_algorithm(
+    name: str, federation: Federation, config: ExperimentConfig
+) -> FLAlgorithm:
     extensions = {
         "QuantizedHierFAVG": QuantizedHierFAVG,
         "FedProx": FedProx,

@@ -55,6 +55,15 @@ class ExperimentConfig:
     angle_mode: str = "velocity"
     gamma_smoothing: float = 0.3
 
+    # Virtual population (0 = classic fully-materialized federation).
+    # ``population`` registers that many virtual clients (split evenly
+    # over the edges); ``cohort_per_edge`` of them are materialized per
+    # edge each round (defaults to ``workers_per_edge``), training on
+    # synthetic per-client shards of ``samples_per_client`` samples.
+    population: int = 0
+    cohort_per_edge: int = 0
+    samples_per_client: int = 64
+
     # Run control.
     total_iterations: int = 400
     eval_every: int | None = None
@@ -80,6 +89,19 @@ class ExperimentConfig:
         check_positive_int(self.pi, "pi")
         check_positive_int(self.batch_size, "batch_size")
         check_positive_int(self.total_iterations, "total_iterations")
+        if self.population < 0 or self.cohort_per_edge < 0:
+            raise ValueError(
+                "population and cohort_per_edge must be >= 0"
+            )
+        if self.population:
+            check_positive_int(
+                self.samples_per_client, "samples_per_client"
+            )
+            if self.population % self.num_edges:
+                raise ValueError(
+                    f"population {self.population} does not split evenly "
+                    f"over {self.num_edges} edges"
+                )
         if self.angle_mode not in ("velocity", "y"):
             raise ValueError(
                 f"angle_mode must be 'velocity' or 'y', got {self.angle_mode!r}"

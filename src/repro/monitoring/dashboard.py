@@ -151,6 +151,21 @@ def render_dashboard(events: list[RunEvent], width: int = 64) -> str:
                 f"{label:<12} {format_bytes(value):>12}"
                 f"{_rate_suffix(evals, key)}"
             )
+        rss = last.get("peak_rss_bytes")
+        if rss:
+            lines.append(f"{'peak rss':<12} {format_bytes(rss):>12}")
+        lines.append(rule)
+
+    # Virtual population ----------------------------------------------
+    pop_rounds = [e for e in events if e.kind == "population_round"]
+    if pop_rounds:
+        last = pop_rounds[-1].data
+        lines.append(
+            f"population: {last.get('registered', 0)} registered"
+            f"  cohort {last.get('cohort', 0)}"
+            f"  materialized {last.get('materialized', 0)}"
+            f"  carried {last.get('carried', 0)}"
+        )
         lines.append(rule)
 
     # Staleness / quorum ----------------------------------------------

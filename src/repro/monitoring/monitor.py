@@ -57,6 +57,15 @@ _EVAL_GAUGES = (
     ("worker_edge_bytes", "repro_worker_edge_bytes"),
     ("edge_cloud_bytes", "repro_edge_cloud_bytes"),
     ("total_bytes", "repro_total_bytes"),
+    ("peak_rss_bytes", "repro_peak_rss_bytes"),
+)
+
+# Population-round payload keys folded into same-named gauges.
+_POPULATION_GAUGES = (
+    ("registered", "repro_population_registered"),
+    ("cohort", "repro_population_cohort"),
+    ("materialized", "repro_population_materialized"),
+    ("carried", "repro_population_carried"),
 )
 
 
@@ -173,6 +182,12 @@ class RunMonitor:
                 registry.inc_counter(
                     "repro_stale_uploads_total", stale_uploads
                 )
+        elif event.kind == "population_round":
+            registry.inc_counter("repro_population_rounds_total")
+            for key, gauge in _POPULATION_GAUGES:
+                value = event.data.get(key)
+                if value is not None:
+                    registry.set_gauge(gauge, value)
         elif event.kind == "run_start":
             iterations = event.data.get("total_iterations")
             if iterations is not None:

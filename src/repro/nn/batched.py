@@ -645,6 +645,48 @@ class _Bindable:
         return self._layer.backward(grad_output)
 
 
+class _BatchedDropout:
+    """Batched inverted dropout consuming the original layer's stream.
+
+    The per-worker loop shares one model across workers, so worker
+    ``r``'s mask is the ``r``-th sequential draw from the layer's own
+    generator.  The batched forward replays exactly that — row ``r``
+    draws shape ``x.shape[1:]`` from the *original* layer's generator —
+    so both backends consume identical streams, masks match bit for
+    bit, and checkpointed dropout-RNG state stays backend-agnostic.
+
+    Constraint: with several live dropout layers sharing one generator
+    the loop interleaves draws worker-major (worker 0 layer A, worker 0
+    layer B, worker 1 layer A, ...) while a layer-by-layer batched pass
+    is layer-major; lowering refuses that configuration
+    (``layer:Dropout(shared-rng)``) rather than silently diverge.
+    """
+
+    __slots__ = ("_layer", "covered", "_mask")
+
+    def __init__(self, layer: Dropout):
+        self._layer = layer
+        self.covered = 0
+        self._mask: np.ndarray | None = None
+
+    def bind(self, params: np.ndarray, grads: np.ndarray) -> None:
+        return None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        layer = self._layer
+        keep = 1.0 - layer.p
+        mask = np.empty(x.shape)
+        for row in range(x.shape[0]):
+            mask[row] = (layer.rng.random(x.shape[1:]) < keep) / keep
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output * self._mask
+        self._mask = None
+        return grad
+
+
 # Elementwise layers are shape-agnostic: the exact per-worker classes
 # run unchanged on (R, B, ...) tensors, so lowering just wraps a
 # fresh instance (identical math, identical numerics).
@@ -679,10 +721,12 @@ def _lower_layer(layer: Module, offsets: dict[int, int]):
         for attr in ("_mask", "_out"):
             object.__setattr__(clone, attr, None)
         return _Bindable(clone)
-    if isinstance(layer, Dropout) and layer.p == 0.0:
-        # p=0 dropout is the identity in both modes; lowering it keeps
-        # the two backends consuming identical RNG streams (none).
-        return _Bindable(Dropout(0.0))
+    if isinstance(layer, Dropout):
+        if layer.p == 0.0:
+            # p=0 dropout is the identity in both modes and draws
+            # nothing, so a detached clone suffices.
+            return _Bindable(Dropout(0.0))
+        return _BatchedDropout(layer)
     if isinstance(layer, Sequential):
         lowered = [_lower_layer(child, offsets) for child in layer.layers]
         if any(child is None for child in lowered):
@@ -698,8 +742,6 @@ def _lower_layer(layer: Module, offsets: dict[int, int]):
 
 def _unsupported_layer_reason(layer: Module) -> str:
     """Machine-readable reason tag for a layer that failed to lower."""
-    if isinstance(layer, Dropout):
-        return "layer:Dropout(p>0)"
     return f"layer:{type(layer).__name__}"
 
 
@@ -740,6 +782,16 @@ def _lower_model(model) -> tuple[BatchedProgram | None, str | None]:
     else:
         return None, f"loss:{type(model.loss_fn).__name__}"
 
+    live_dropout = [
+        child
+        for child in module.modules()
+        if isinstance(child, Dropout) and child.p > 0.0
+    ]
+    if len({id(child.rng) for child in live_dropout}) < len(live_dropout):
+        # Worker-major vs layer-major draw interleaving diverges when
+        # live dropout layers share a generator (see _BatchedDropout).
+        return None, "layer:Dropout(shared-rng)"
+
     offsets: dict[int, int] = {}
     cursor = 0
     for param in module.parameters():
@@ -773,7 +825,7 @@ def lower_supervised_model(model, *, explain: bool = False):
     With ``explain=True`` returns ``(program, reason)`` where ``reason``
     is ``None`` on success and a machine-readable tag otherwise
     (``module:<Type>``, ``loss:<Type>``, ``layer:<Type>``,
-    ``layer:Dropout(p>0)``, ``params:uncovered``).  Every failed
+    ``layer:Dropout(shared-rng)``, ``params:uncovered``).  Every failed
     lowering also bumps the ``batched.lower.unsupported.<reason>``
     tracer counter and emits a one-time debug log.
     """

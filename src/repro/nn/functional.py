@@ -81,6 +81,50 @@ def im2col(
     return out
 
 
+# Fold-index buffers for col2im, keyed by the full geometry.  Each
+# buffer maps every patch element (in the natural (n, oh, ow, c, kh,
+# kw) im2col row layout) to its flat destination in the padded image,
+# so the scatter-add is a single ``np.bincount`` pass with no
+# transpose copy.  Geometries are few (one per conv/pool layer shape),
+# but the cache is bounded anyway so pathological callers cannot leak.
+_FOLD_INDEX_CACHE: dict[tuple, np.ndarray] = {}
+_FOLD_INDEX_CACHE_MAX = 64
+
+
+def _fold_indices(
+    x_shape: tuple,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    key = (tuple(x_shape), kernel_h, kernel_w, stride, padding)
+    cached = _FOLD_INDEX_CACHE.get(key)
+    if cached is not None:
+        return cached
+    n, c, h, w = x_shape
+    padded_h = h + 2 * padding
+    padded_w = w + 2 * padding
+    rows = (
+        stride * np.arange(out_h)[:, None] + np.arange(kernel_h)
+    )  # (OH, KH)
+    columns = (
+        stride * np.arange(out_w)[:, None] + np.arange(kernel_w)
+    )  # (OW, KW)
+    indices = (
+        np.arange(n).reshape(n, 1, 1, 1, 1, 1) * (c * padded_h * padded_w)
+        + np.arange(c).reshape(1, 1, 1, c, 1, 1) * (padded_h * padded_w)
+        + rows.reshape(1, out_h, 1, 1, kernel_h, 1) * padded_w
+        + columns.reshape(1, 1, out_w, 1, 1, kernel_w)
+    ).ravel()
+    if len(_FOLD_INDEX_CACHE) >= _FOLD_INDEX_CACHE_MAX:
+        _FOLD_INDEX_CACHE.clear()
+    _FOLD_INDEX_CACHE[key] = indices
+    return indices
+
+
 def col2im(
     cols: np.ndarray,
     x_shape: tuple,
@@ -92,21 +136,25 @@ def col2im(
     """Inverse of :func:`im2col`: scatter-add patch rows back to an image.
 
     Overlapping patches accumulate, which is exactly the gradient of
-    ``im2col``.
+    ``im2col``.  The scatter runs as one ``np.bincount`` over a cached
+    fold-index buffer (patch element -> flat padded-image position), so
+    repeated same-shape backwards pay no transpose and no per-tap
+    strided loop.
     """
     n, c, h, w = x_shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
     out_w = conv_output_size(w, kernel_w, stride, padding)
 
-    cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
-        0, 3, 4, 5, 1, 2
+    indices = _fold_indices(
+        x_shape, kernel_h, kernel_w, stride, padding, out_h, out_w
     )
-    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
-    for i in range(kernel_h):
-        i_end = i + stride * out_h
-        for j in range(kernel_w):
-            j_end = j + stride * out_w
-            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
+    padded = np.bincount(
+        indices,
+        weights=cols.ravel(),
+        minlength=n * c * (h + 2 * padding) * (w + 2 * padding),
+    ).reshape(n, c, h + 2 * padding, w + 2 * padding)
+    if cols.dtype != padded.dtype:
+        padded = padded.astype(cols.dtype)
 
     if padding > 0:
         return padded[:, :, padding:-padding, padding:-padding]

@@ -1,0 +1,317 @@
+"""Lazy cohort materialization into the stacked worker buffers.
+
+The :class:`PopulationBinder` is the bridge between a virtual
+:class:`~repro.population.registry.ClientRegistry` (metadata only) and
+the live :class:`~repro.core.federation.Federation` an algorithm
+actually trains: the federation's ``(W, dim)`` stacked state holds one
+*slot* per cohort member, and the binder maps slots to client ids,
+rebinding them as the :class:`~repro.population.sampling.CohortSampler`
+draws new cohorts.
+
+Slot-pool lifecycle (per edge block, each rebind period):
+
+* **retained** clients — sampled again — keep their slot untouched:
+  state rows, mini-batch sampler, everything stays in place (the
+  LRU-ish fast path; at full participation every client is retained and
+  a virtual run is bit-identical to a classic federation);
+* **departing** clients save a compact carry-forward record: the rows
+  of the algorithm's declared ``CLIENT_STATE`` arrays (its per-client
+  momentum/optimizer buffers) plus the client's mini-batch sampler
+  state.  The model row ``x`` is deliberately *not* carried — a client
+  rejoining adopts the current broadcast model, exactly like
+  ``SampledFedAvg`` participants start from the server model;
+* **arriving** clients take the freed slots in sorted order
+  (deterministic slot assignment).  A *returning* client restores its
+  carry record bit-exactly — same momentum rows, same sampler RNG
+  state, as if it had been frozen (the faults ``carry_forward`` policy
+  generalized across cohort membership).  A *fresh* client adopts the
+  slot's current rows, which at fault-free round boundaries equal the
+  post-round broadcast.
+
+Per-client mini-batch streams are keyed by **client id**, not slot:
+client ``c`` always samples from ``child_seed(seed, "sampler", c)``,
+the stream a fully materialized federation would give worker ``c`` —
+this identity is what makes full-participation virtual runs reproduce
+the golden trajectories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.checkpoint.state import rng_state, set_rng_state
+from repro.core.federation import Federation
+from repro.data.loader import BatchSampler
+from repro.monitoring.monitor import get_monitor
+from repro.population.registry import ClientRegistry
+from repro.population.sampling import CohortSampler
+from repro.utils.rng import child_seed
+
+__all__ = ["PopulationBinder"]
+
+
+class PopulationBinder:
+    """Slot pool binding a sampled cohort into a federation's buffers."""
+
+    def __init__(
+        self,
+        registry: ClientRegistry,
+        shards,
+        *,
+        cohort_per_edge: int,
+        seed: int = 0,
+        resample_every: int | None = None,
+    ):
+        self.registry = registry
+        self.shards = shards
+        self.sampler = CohortSampler(
+            registry, cohort_per_edge, seed=seed
+        )
+        self.seed = int(seed)
+        # Rebind cadence in iterations; ``None`` until attached (the
+        # algorithm's round length τ is the natural default).
+        self.resample_every = resample_every
+        self.fed: Federation | None = None
+        # slot -> client id for the currently materialized cohort.
+        self.slot_client: np.ndarray | None = None
+        # client id -> carry-forward record for evicted clients:
+        # {"rows": [per-CLIENT_STATE-array row copies],
+        #  "sampler": {"rng": state, "cursor": int, "order": ndarray}}
+        self.carry: dict[int, dict] = {}
+        # Distinct clients ever materialized (gauge only).
+        self._seen: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Federation construction
+    # ------------------------------------------------------------------
+    def build_federation(
+        self,
+        model,
+        test_set,
+        *,
+        batch_size: int = 64,
+        backend: str = "auto",
+    ) -> Federation:
+        """Materialize period-0's cohort into a fresh federation.
+
+        The federation is built over the initial cohort's shards and
+        every slot's sampler is immediately rebound to its *client's*
+        stream (``child_seed(seed, "sampler", client_id)``).  At full
+        participation slot ``i`` binds client ``i``, so the rebinding
+        is an identity and the federation matches the classic
+        construction bit for bit.
+        """
+        cohort = self.sampler.draw(0)
+        k = self.sampler.cohort_per_edge
+        partitions = [
+            [self.shards.shard(int(c)) for c in cohort[e * k:(e + 1) * k]]
+            for e in range(self.registry.num_edges)
+        ]
+        fed = Federation(
+            model,
+            partitions,
+            test_set,
+            batch_size=batch_size,
+            seed=self.seed,
+            backend=backend,
+        )
+        self.fed = fed
+        self.slot_client = cohort.copy()
+        self._seen.update(int(c) for c in cohort)
+        for slot, client in enumerate(cohort):
+            fed.samplers[slot] = self._client_sampler(
+                int(client), fed.worker_datasets[slot]
+            )
+        return fed
+
+    def _client_sampler(self, client_id: int, dataset) -> BatchSampler:
+        return BatchSampler(
+            dataset,
+            self.fed.batch_size,
+            np.random.default_rng(
+                child_seed(self.seed, "sampler", client_id)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Carry-forward state access
+    # ------------------------------------------------------------------
+    def _state_arrays(self, algorithm) -> list[np.ndarray]:
+        arrays = []
+        for name in algorithm.CLIENT_STATE:
+            obj, leaf = algorithm._ckpt_resolve(name)
+            arrays.append(getattr(obj, leaf))
+        return arrays
+
+    def _save_carry(self, algorithm, slot: int, client_id: int) -> None:
+        sampler = self.fed.samplers[slot]
+        self.carry[client_id] = {
+            "rows": [
+                array[slot].copy()
+                for array in self._state_arrays(algorithm)
+            ],
+            "sampler": {
+                "rng": rng_state(sampler.rng),
+                "cursor": int(sampler._cursor),
+                "order": np.array(sampler._order),
+            },
+        }
+
+    def _bind_client(
+        self, algorithm, slot: int, client_id: int
+    ) -> None:
+        """Materialize ``client_id`` into ``slot`` (carry or adopt)."""
+        dataset = self.shards.shard(client_id)
+        sampler = self._client_sampler(client_id, dataset)
+        record = self.carry.pop(client_id, None)
+        if record is not None:
+            for array, row in zip(
+                self._state_arrays(algorithm), record["rows"]
+            ):
+                array[slot] = row
+            saved = record["sampler"]
+            set_rng_state(sampler.rng, saved["rng"])
+            sampler._order = np.array(saved["order"])
+            sampler._cursor = int(saved["cursor"])
+        # Fresh client: CLIENT_STATE rows are adopted as-is (equal to
+        # the post-round broadcast at fault-free boundaries).
+        self.fed.rebind_worker(slot, dataset, sampler)
+        self._seen.add(client_id)
+
+    # ------------------------------------------------------------------
+    # Rebinding
+    # ------------------------------------------------------------------
+    def reset(self, algorithm) -> None:
+        """Fresh-run state: empty carry store, period-0 cohort bound."""
+        if self.fed is None:
+            raise RuntimeError(
+                "PopulationBinder has no federation; call "
+                "build_federation() before running"
+            )
+        self.carry.clear()
+        self._rebind(algorithm, self.sampler.draw(0), save_carry=False)
+
+    def resample(
+        self, algorithm, period: int, *, iteration: int = 0
+    ) -> np.ndarray:
+        """Draw period ``p``'s cohort and rebind the slot pool."""
+        cohort = self._rebind(
+            algorithm, self.sampler.draw(period), save_carry=True
+        )
+        monitor = get_monitor()
+        if monitor.enabled:
+            monitor.emit(
+                "population_round",
+                iteration=int(iteration),
+                registered=self.registry.num_clients,
+                cohort=int(cohort.size),
+                materialized=len(self._seen),
+                carried=len(self.carry),
+            )
+        return cohort
+
+    def _rebind(
+        self, algorithm, cohort: np.ndarray, *, save_carry: bool
+    ) -> np.ndarray:
+        current = self.slot_client
+        if np.array_equal(cohort, current):
+            return cohort
+        k = self.sampler.cohort_per_edge
+        rebound = False
+        for edge in range(self.registry.num_edges):
+            block = slice(edge * k, (edge + 1) * k)
+            old = current[block]
+            new = cohort[block]
+            incoming = set(int(c) for c in new)
+            free_slots = [
+                edge * k + i
+                for i, c in enumerate(old)
+                if int(c) not in incoming
+            ]
+            arriving = sorted(
+                set(int(c) for c in new) - set(int(c) for c in old)
+            )
+            if not arriving:
+                continue
+            rebound = True
+            if save_carry:
+                for slot in free_slots:
+                    self._save_carry(
+                        algorithm, slot, int(current[slot])
+                    )
+            for slot, client in zip(free_slots, arriving):
+                self._bind_client(algorithm, slot, client)
+                current[slot] = client
+        if rebound and self.registry.weights is not None:
+            self.fed.refresh_weights()
+        return cohort
+
+    # ------------------------------------------------------------------
+    # Checkpoint integration
+    # ------------------------------------------------------------------
+    def state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """(manifest values, archive arrays) for the checkpoint."""
+        values: dict = {
+            "slot_client": [int(c) for c in self.slot_client],
+            "carry": {},
+        }
+        arrays: dict[str, np.ndarray] = {
+            "pop:seen": np.fromiter(
+                sorted(self._seen), dtype=np.int64, count=len(self._seen)
+            ),
+        }
+        for client_id, record in self.carry.items():
+            key = str(client_id)
+            values["carry"][key] = {
+                "rng": record["sampler"]["rng"],
+                "cursor": record["sampler"]["cursor"],
+                "rows": len(record["rows"]),
+            }
+            arrays[f"pop:carry:{key}:order"] = record["sampler"]["order"]
+            for index, row in enumerate(record["rows"]):
+                arrays[f"pop:carry:{key}:row{index}"] = row
+        return values, arrays
+
+    def restore(
+        self, algorithm, values: dict, arrays: dict[str, np.ndarray]
+    ) -> None:
+        """Rebuild slot bindings + carry store from a checkpoint.
+
+        Runs after the algorithm's arrays are restored (the slot rows
+        already hold the checkpointed cohort's state — binding must not
+        disturb them, hence ``carry``-free rebinding) and *before* the
+        federation's sampler states are applied (which then overwrite
+        the freshly derived per-client sampler streams with the exact
+        checkpointed cursors).
+        """
+        self.carry.clear()
+        target = np.asarray(values["slot_client"], dtype=np.int64)
+        # Positional binding, not ``_rebind``: the checkpointed slot
+        # layout is the product of the run's whole rebind history, which
+        # a one-shot sorted-arrival reconstruction can permute.  The
+        # carry store is empty so every bind takes the adopt path and
+        # leaves the already-restored state rows untouched.
+        rebound = False
+        for slot, client in enumerate(target):
+            if int(self.slot_client[slot]) == int(client):
+                continue
+            self._bind_client(algorithm, slot, int(client))
+            self.slot_client[slot] = client
+            rebound = True
+        if rebound and self.registry.weights is not None:
+            self.fed.refresh_weights()
+        self._seen = set(int(c) for c in arrays["pop:seen"])
+        self._seen.update(int(c) for c in target)
+        for key, meta in values["carry"].items():
+            client_id = int(key)
+            self.carry[client_id] = {
+                "rows": [
+                    np.array(arrays[f"pop:carry:{key}:row{index}"])
+                    for index in range(int(meta["rows"]))
+                ],
+                "sampler": {
+                    "rng": meta["rng"],
+                    "cursor": int(meta["cursor"]),
+                    "order": np.array(arrays[f"pop:carry:{key}:order"]),
+                },
+            }

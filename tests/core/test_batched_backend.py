@@ -85,10 +85,16 @@ def _image_federation(backend="auto", model=None):
 
 
 def _dropout_model(features=6, classes=3):
-    """Active dropout cannot lower (per-worker RNG streams diverge)."""
+    """Live dropout layers sharing one generator cannot lower (the
+    loop's worker-major draw order has no layer-major replay)."""
+    rng = np.random.default_rng(9)
     return SupervisedModel(
         Sequential(
-            Dense(features, 8, rng=0), Dropout(0.3), Dense(8, classes, rng=1)
+            Dense(features, 8, rng=0),
+            Dropout(0.3, rng=rng),
+            Dense(8, 8, rng=1),
+            Dropout(0.3, rng=rng),
+            Dense(8, classes, rng=2),
         )
     )
 
@@ -112,10 +118,10 @@ class TestBackendSelection:
     def test_auto_falls_back_for_dropout_model(self):
         fed = _tabular_federation(model=_dropout_model())
         assert fed.gradient_backend == "loop"
-        assert fed.lowering_reason == "layer:Dropout(p>0)"
+        assert fed.lowering_reason == "layer:Dropout(shared-rng)"
 
     def test_batched_backend_rejects_dropout_model(self):
-        with pytest.raises(ValueError, match=r"Dropout\(p>0\)"):
+        with pytest.raises(ValueError, match=r"Dropout\(shared-rng\)"):
             _tabular_federation(model=_dropout_model(), backend="batched")
 
     def test_unknown_backend_rejected(self):
@@ -138,7 +144,7 @@ class TestBackendSelection:
         assert tracer.counters.get("worker_step.backend.loop") == 1
         assert (
             tracer.counters.get(
-                "worker_step.backend.fallback.layer:Dropout(p>0)"
+                "worker_step.backend.fallback.layer:Dropout(shared-rng)"
             )
             == 1
         )

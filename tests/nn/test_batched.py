@@ -335,11 +335,11 @@ def test_batchnorm_model_lowers():
     assert lower_supervised_model(model) is not None
 
 
-def test_active_dropout_does_not_lower():
+def test_active_dropout_lowers():
     model = SupervisedModel(
         Sequential(Dense(4, 4, rng=0), Dropout(0.3), Dense(4, 2, rng=1))
     )
-    assert lower_supervised_model(model) is None
+    assert lower_supervised_model(model) is not None
 
 
 def test_identity_dropout_lowers():
@@ -347,6 +347,81 @@ def test_identity_dropout_lowers():
         Sequential(Dense(4, 4, rng=0), Dropout(0.0), Dense(4, 2, rng=1))
     )
     assert lower_supervised_model(model) is not None
+
+
+def _shared_rng_dropout_model() -> SupervisedModel:
+    """Two live dropout layers on one generator (refuses to lower)."""
+    rng = np.random.default_rng(5)
+    return SupervisedModel(
+        Sequential(
+            Dense(4, 4, rng=0),
+            Dropout(0.3, rng=rng),
+            Dense(4, 4, rng=1),
+            Dropout(0.3, rng=rng),
+            Dense(4, 2, rng=2),
+        )
+    )
+
+
+def test_shared_rng_dropout_does_not_lower():
+    """One generator across live dropout layers cannot replay the
+    loop's worker-major draw order layer by layer."""
+    assert lower_supervised_model(_shared_rng_dropout_model()) is None
+
+
+def _dropout_model(seed: int = 7) -> SupervisedModel:
+    """MLP with a live dropout layer owning a seeded generator."""
+    return SupervisedModel(
+        Sequential(
+            Dense(FEATURES, 8, rng=0),
+            ReLU(),
+            Dropout(0.4, rng=seed),
+            Dense(8, CLASSES, rng=1),
+        )
+    )
+
+
+def test_batched_dropout_matches_loop_oracle():
+    """Dropout masks replay the loop's per-worker stream bit for bit:
+    gradients and losses agree at rtol 1e-10 (two identically seeded
+    model instances, since each arm consumes its own generator)."""
+    loop_model = _dropout_model()
+    batched_model = _dropout_model()
+    program = lower_supervised_model(batched_model)
+    assert isinstance(program, BatchedProgram)
+
+    rng = np.random.default_rng(17)
+    xs, ys = _stacked_inputs(rng)
+    params = rng.normal(size=(NUM_WORKERS, loop_model.num_params))
+
+    for _ in range(3):  # repeated passes keep the streams aligned
+        grads = np.empty_like(params)
+        losses = program.gradient_all(params, xs, ys, grads)
+        ref_grads, ref_losses = _loop_reference(loop_model, params, xs, ys)
+        np.testing.assert_allclose(
+            losses, ref_losses, rtol=1e-10, atol=1e-14
+        )
+        np.testing.assert_allclose(
+            grads, ref_grads, rtol=1e-10, atol=1e-14
+        )
+
+
+def test_batched_dropout_consumes_original_layer_stream():
+    """The lowered layer draws from the *original* model's generator,
+    so checkpointed dropout RNG state stays backend-agnostic."""
+    model = _dropout_model()
+    layer = next(
+        child
+        for child in model.module.modules()
+        if isinstance(child, Dropout)
+    )
+    before = layer.rng.bit_generator.state["state"]["state"]
+    program = lower_supervised_model(model)
+    rng = np.random.default_rng(23)
+    xs, ys = _stacked_inputs(rng)
+    params = rng.normal(size=(NUM_WORKERS, model.num_params))
+    program.gradient_all(params, xs, ys, np.empty_like(params))
+    assert layer.rng.bit_generator.state["state"]["state"] != before
 
 
 def test_custom_loss_does_not_lower():
@@ -446,13 +521,12 @@ class TestLoweringReasons:
         assert program is None
         assert reason == "layer:_MysteryLayer"
 
-    def test_active_dropout_reason(self):
-        model = SupervisedModel(
-            Sequential(Dense(4, 4, rng=0), Dropout(0.3), Dense(4, 2, rng=1))
+    def test_shared_rng_dropout_reason(self):
+        program, reason = lower_supervised_model(
+            _shared_rng_dropout_model(), explain=True
         )
-        program, reason = lower_supervised_model(model, explain=True)
         assert program is None
-        assert reason == "layer:Dropout(p>0)"
+        assert reason == "layer:Dropout(shared-rng)"
 
     def test_uncovered_params_reason(self):
         program, reason = lower_supervised_model(
@@ -462,23 +536,19 @@ class TestLoweringReasons:
         assert reason == "params:uncovered"
 
     def test_failed_lowering_bumps_tracer_counter(self):
-        model = SupervisedModel(
-            Sequential(Dense(4, 4, rng=0), Dropout(0.3), Dense(4, 2, rng=1))
-        )
+        model = _shared_rng_dropout_model()
         with telemetry.tracing() as tracer:
             assert lower_supervised_model(model) is None
             assert lower_supervised_model(model) is None
         assert (
             tracer.counters.get(
-                "batched.lower.unsupported.layer:Dropout(p>0)"
+                "batched.lower.unsupported.layer:Dropout(shared-rng)"
             )
             == 2
         )
 
     def test_fallback_logged_once_per_model_shape(self, caplog):
-        model = SupervisedModel(
-            Sequential(Dense(4, 4, rng=0), Dropout(0.3), Dense(4, 2, rng=1))
-        )
+        model = _shared_rng_dropout_model()
         batched_module._logged_reasons.clear()
         with caplog.at_level(logging.DEBUG, logger="repro.nn.batched"):
             lower_supervised_model(model)
@@ -489,4 +559,4 @@ class TestLoweringReasons:
             if "batched lowering unsupported" in record.message
         ]
         assert len(records) == 1
-        assert "layer:Dropout(p>0)" in records[0].getMessage()
+        assert "layer:Dropout(shared-rng)" in records[0].getMessage()

@@ -1,0 +1,396 @@
+"""Virtual-population unit battery: registry, sampler, shards, binder.
+
+The carry-forward property at the heart of the tentpole — a client
+sampled at round ``r`` and again at round ``r + k`` resumes with
+bit-identical momentum rows and mini-batch RNG state — is asserted
+here against live algorithm runs via a recording binder subclass.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FedADC, FedNAG
+from repro.core import HierAdMo
+from repro.core.federation import Federation
+from repro.checkpoint.state import rng_state
+from repro.data import Dataset
+from repro.data.shards import ListShards, PrototypeShards
+from repro.monitoring import monitoring
+from repro.nn.models import make_logistic_regression
+from repro.population import ClientRegistry, CohortSampler, PopulationBinder
+from repro.utils.memory import current_rss_bytes, peak_rss_bytes
+
+pytestmark = pytest.mark.population
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestClientRegistry:
+    def test_contiguous_edge_blocks(self):
+        registry = ClientRegistry(3, 5)
+        assert registry.num_clients == 15
+        assert registry.clients_of_edge(1) == range(5, 10)
+        assert registry.edge_of(0) == 0
+        assert registry.edge_of(7) == 1
+        assert registry.edge_of(14) == 2
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(IndexError):
+            ClientRegistry(2, 4).clients_of_edge(2)
+
+    def test_uniform_registry_stores_no_arrays(self):
+        registry = ClientRegistry(2, 500_000)
+        assert registry.num_clients == 1_000_000
+        assert registry.weights is None
+        np.testing.assert_array_equal(
+            registry.client_weights([0, 999_999]), [1.0, 1.0]
+        )
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError, match="shape"):
+            ClientRegistry(2, 3, weights=np.ones(5))
+        with pytest.raises(ValueError, match="positive"):
+            ClientRegistry(2, 3, weights=np.zeros(6))
+
+    def test_from_shards_equal_sizes_stay_uniform(self):
+        shards = PrototypeShards(8, samples_per_client=16, seed=0)
+        registry = ClientRegistry.from_shards(shards, 2)
+        assert registry.weights is None
+
+    def test_from_shards_uneven_sizes_become_weights(self):
+        rng = np.random.default_rng(0)
+        datasets = [
+            Dataset(rng.normal(size=(n, 4)), rng.integers(0, 2, n), 2)
+            for n in (8, 12, 8, 8)
+        ]
+        registry = ClientRegistry.from_shards(ListShards(datasets), 2)
+        np.testing.assert_array_equal(
+            registry.client_weights([0, 1, 2, 3]), [8, 12, 8, 8]
+        )
+
+    def test_from_shards_requires_even_split(self):
+        shards = PrototypeShards(9, samples_per_client=8, seed=0)
+        with pytest.raises(ValueError, match="evenly"):
+            ClientRegistry.from_shards(shards, 2)
+
+
+# ----------------------------------------------------------------------
+# Cohort sampler
+# ----------------------------------------------------------------------
+class TestCohortSampler:
+    def _sampler(self, clients_per_edge=100, cohort=8, edges=3, seed=4):
+        registry = ClientRegistry(edges, clients_per_edge)
+        return CohortSampler(registry, cohort, seed=seed)
+
+    def test_draw_is_deterministic(self):
+        sampler = self._sampler()
+        np.testing.assert_array_equal(sampler.draw(7), sampler.draw(7))
+
+    def test_draws_differ_across_periods(self):
+        sampler = self._sampler()
+        assert not np.array_equal(sampler.draw(0), sampler.draw(1))
+
+    def test_blocks_are_stratified_and_sorted(self):
+        sampler = self._sampler(clients_per_edge=50, cohort=5, edges=4)
+        cohort = sampler.draw(3)
+        assert cohort.size == 20
+        for edge in range(4):
+            block = cohort[edge * 5 : (edge + 1) * 5]
+            assert np.all(np.diff(block) > 0)  # sorted, distinct
+            assert block.min() >= edge * 50
+            assert block.max() < (edge + 1) * 50
+
+    def test_full_participation_identity_shortcut(self):
+        sampler = self._sampler(clients_per_edge=6, cohort=6, edges=2)
+        assert sampler.full_participation
+        np.testing.assert_array_equal(sampler.draw(0), np.arange(12))
+        np.testing.assert_array_equal(sampler.draw(99), np.arange(12))
+
+    def test_cohort_clamped_to_edge_size(self):
+        sampler = self._sampler(clients_per_edge=4, cohort=10, edges=2)
+        assert sampler.cohort_per_edge == 4
+        assert sampler.full_participation
+
+    def test_partial_draw_cost_independent_of_population(self):
+        """Floyd sampling touches O(k) values even at 1M clients."""
+        sampler = self._sampler(clients_per_edge=500_000, cohort=64, edges=2)
+        cohort = sampler.draw(0)
+        assert cohort.size == 128
+        assert np.unique(cohort).size == 128
+
+
+# ----------------------------------------------------------------------
+# Prototype shards
+# ----------------------------------------------------------------------
+class TestPrototypeShards:
+    def test_shard_is_deterministic_and_shaped(self):
+        shards = PrototypeShards(
+            100, num_features=12, num_classes=4, samples_per_client=10, seed=3
+        )
+        first = shards.shard(42)
+        again = shards.shard(42)
+        np.testing.assert_array_equal(first.x, again.x)
+        np.testing.assert_array_equal(first.y, again.y)
+        assert first.x.shape == (10, 12)
+        assert first.num_classes == 4
+
+    def test_shards_differ_per_client(self):
+        shards = PrototypeShards(10, samples_per_client=16, seed=3)
+        assert not np.array_equal(shards.shard(0).x, shards.shard(1).x)
+
+    def test_class_subset_restriction(self):
+        shards = PrototypeShards(
+            10, num_classes=10, classes_per_client=2,
+            samples_per_client=32, seed=5,
+        )
+        for client in range(10):
+            assert np.unique(shards.shard(client).y).size <= 2
+
+    def test_test_set_deterministic(self):
+        shards = PrototypeShards(10, samples_per_client=16, seed=3)
+        np.testing.assert_array_equal(
+            shards.test_set(64).x, shards.test_set(64).x
+        )
+
+
+# ----------------------------------------------------------------------
+# Binder mechanics
+# ----------------------------------------------------------------------
+def _make_binder(
+    *, population=12, edges=2, cohort=3, seed=9, samples=20, shards=None
+):
+    shards = shards or PrototypeShards(
+        population, num_features=24, num_classes=6,
+        samples_per_client=samples, seed=seed,
+    )
+    registry = ClientRegistry.from_shards(shards, edges)
+    binder = PopulationBinder(
+        registry, shards, cohort_per_edge=cohort, seed=seed
+    )
+    model = make_logistic_regression(24, 6, rng=4)
+    binder.build_federation(model, shards.test_set(80), batch_size=8)
+    return binder
+
+
+def _make_algorithm(cls, kwargs, **binder_kwargs):
+    binder = _make_binder(**binder_kwargs)
+    algorithm = cls(binder.fed, **kwargs)
+    algorithm.attach_population(binder)
+    return algorithm
+
+
+class TestBinder:
+    def test_reset_requires_federation(self):
+        shards = PrototypeShards(8, samples_per_client=8, seed=0)
+        binder = PopulationBinder(
+            ClientRegistry.from_shards(shards, 2), shards,
+            cohort_per_edge=2, seed=0,
+        )
+        with pytest.raises(RuntimeError, match="build_federation"):
+            binder.reset(object())
+
+    def test_federation_sized_by_cohort_not_population(self):
+        binder = _make_binder(population=1000, edges=2, cohort=4, samples=4)
+        assert isinstance(binder.fed, Federation)
+        assert binder.fed.num_workers == 8
+        assert binder.registry.num_clients == 1000
+
+    def test_attach_population_rejects_foreign_federation(self):
+        binder = _make_binder()
+        other = _make_binder()
+        algorithm = HierAdMo(other.fed, eta=0.05, tau=3, pi=2)
+        with pytest.raises(ValueError, match="federation"):
+            algorithm.attach_population(binder)
+
+    def test_resample_every_defaults_to_tau(self):
+        algorithm = _make_algorithm(HierAdMo, {"eta": 0.05, "tau": 3, "pi": 2})
+        assert algorithm.population.resample_every == 3
+
+    def test_full_participation_resample_is_identity(self):
+        algorithm = _make_algorithm(
+            HierAdMo, {"eta": 0.05, "tau": 3, "pi": 2},
+            population=6, cohort=3,
+        )
+        binder = algorithm.population
+        binder.reset(algorithm)
+        samplers = list(binder.fed.samplers)
+        binder.resample(algorithm, 5)
+        assert list(binder.fed.samplers) == samplers  # same objects
+        np.testing.assert_array_equal(binder.slot_client, np.arange(6))
+        assert binder.carry == {}
+
+    def test_resample_emits_population_round_event(self):
+        algorithm = _make_algorithm(FedNAG, {"eta": 0.05, "tau": 6})
+        binder = algorithm.population
+        algorithm._setup()
+        binder.reset(algorithm)
+        with monitoring() as monitor:
+            binder.resample(algorithm, 1, iteration=6)
+        registry = monitor.registry
+        assert (
+            registry.gauge("repro_population_registered")
+            == binder.registry.num_clients
+        )
+        assert (
+            registry.gauge("repro_population_cohort")
+            == binder.sampler.cohort_size
+        )
+        assert registry.gauge("repro_population_materialized") >= 6
+
+    def test_eval_events_carry_peak_rss(self):
+        algorithm = _make_algorithm(FedNAG, {"eta": 0.05, "tau": 6})
+        with monitoring() as monitor:
+            algorithm.run(6, eval_every=6)
+        assert (monitor.registry.gauge("repro_peak_rss_bytes") or 0) > 0
+
+    def test_nonuniform_weights_refresh_on_rebind(self):
+        rng = np.random.default_rng(0)
+        datasets = [
+            Dataset(rng.normal(size=(n, 6)), rng.integers(0, 3, n), 3)
+            for n in (8, 12, 16, 8, 12, 16)
+        ]
+        shards = ListShards(datasets)
+        registry = ClientRegistry.from_shards(shards, 2)
+        assert registry.weights is not None
+        binder = PopulationBinder(
+            registry, shards, cohort_per_edge=2, seed=1
+        )
+        test = Dataset(
+            rng.normal(size=(16, 6)), rng.integers(0, 3, 16), 3
+        )
+        model = make_logistic_regression(6, 3, rng=4)
+        binder.build_federation(model, test, batch_size=4)
+        algorithm = FedNAG(binder.fed, eta=0.05, tau=2)
+        algorithm.attach_population(binder)
+        algorithm._setup()
+        binder.reset(algorithm)
+        period = next(
+            p for p in range(1, 50)
+            if not np.array_equal(binder.sampler.draw(p), binder.slot_client)
+        )
+        binder.resample(algorithm, period)
+        sizes = np.array(
+            [len(d) for d in binder.fed.worker_datasets], dtype=np.float64
+        )
+        np.testing.assert_allclose(
+            binder.fed.global_worker_w, sizes / sizes.sum()
+        )
+
+
+# ----------------------------------------------------------------------
+# Carry-forward bit-exactness (the tentpole property)
+# ----------------------------------------------------------------------
+class _RecordingBinder(PopulationBinder):
+    """Snapshots carry records at save time and re-bind time."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.saved: dict[int, tuple] = {}
+        self.rebound: list[tuple] = []
+
+    def _save_carry(self, algorithm, slot, client_id):
+        super()._save_carry(algorithm, slot, client_id)
+        record = self.carry[client_id]
+        self.saved[client_id] = (
+            [row.copy() for row in record["rows"]],
+            copy.deepcopy(record["sampler"]),
+        )
+
+    def _bind_client(self, algorithm, slot, client_id):
+        returning = client_id in self.carry
+        # Snapshot the *current* save record: the client may depart
+        # again later and overwrite ``saved`` before the test asserts.
+        expected = self.saved.get(client_id)
+        super()._bind_client(algorithm, slot, client_id)
+        if returning:
+            sampler = self.fed.samplers[slot]
+            self.rebound.append(
+                (
+                    client_id,
+                    [
+                        array[slot].copy()
+                        for array in self._state_arrays(algorithm)
+                    ],
+                    {
+                        "rng": rng_state(sampler.rng),
+                        "cursor": int(sampler._cursor),
+                        "order": np.array(sampler._order),
+                    },
+                    expected,
+                )
+            )
+
+
+@pytest.mark.parametrize(
+    "cls, kwargs",
+    [
+        (HierAdMo, {"eta": 0.05, "tau": 3, "pi": 2}),
+        (FedNAG, {"eta": 0.05, "tau": 6, "gamma": 0.5}),
+        (FedADC, {"eta": 0.05, "tau": 6, "beta": 0.5}),
+    ],
+    ids=lambda value: getattr(value, "__name__", ""),
+)
+def test_returning_client_resumes_bit_identical_state(cls, kwargs):
+    """A client sampled at round r and r+k gets back the exact momentum
+    rows and mini-batch RNG state it left with — bit for bit."""
+    shards = PrototypeShards(
+        12, num_features=24, num_classes=6, samples_per_client=20, seed=9
+    )
+    registry = ClientRegistry.from_shards(shards, 2)
+    binder = _RecordingBinder(
+        registry, shards, cohort_per_edge=3, seed=9
+    )
+    model = make_logistic_regression(24, 6, rng=4)
+    binder.build_federation(model, shards.test_set(80), batch_size=8)
+    algorithm = cls(binder.fed, **kwargs)
+    algorithm.attach_population(binder)
+    algorithm.run(48, eval_every=48)
+
+    assert binder.rebound, "no client ever returned; population too large"
+    for client_id, rows, sampler, expected in binder.rebound:
+        saved_rows, saved_sampler = expected
+        assert len(rows) == len(algorithm.CLIENT_STATE)
+        for row, saved in zip(rows, saved_rows):
+            np.testing.assert_array_equal(row, saved)
+        assert sampler["rng"] == saved_sampler["rng"]
+        assert sampler["cursor"] == saved_sampler["cursor"]
+        np.testing.assert_array_equal(
+            sampler["order"], saved_sampler["order"]
+        )
+
+
+def test_fresh_client_adopts_broadcast_rows():
+    """A never-seen client starts from the slot's current model row
+    (== the post-round broadcast), like a SampledFedAvg participant."""
+    algorithm = _make_algorithm(
+        FedNAG, {"eta": 0.05, "tau": 6, "gamma": 0.5},
+        population=40, cohort=2,
+    )
+    binder = algorithm.population
+    algorithm._setup()
+    binder.reset(algorithm)
+    before = algorithm.x.copy()
+    period = next(
+        p for p in range(1, 50)
+        if set(map(int, binder.sampler.draw(p)))
+        - set(map(int, binder.slot_client))
+        - set(binder.carry)
+    )
+    binder.resample(algorithm, period)
+    np.testing.assert_array_equal(algorithm.x, before)
+
+
+# ----------------------------------------------------------------------
+# Memory helpers
+# ----------------------------------------------------------------------
+def test_rss_helpers_report_plausible_values():
+    peak = peak_rss_bytes()
+    current = current_rss_bytes()
+    assert peak > 10 * 1024 * 1024  # a Python+NumPy process is > 10 MB
+    if current:  # /proc may be absent off Linux
+        assert peak >= current / 2

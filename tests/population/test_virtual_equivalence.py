@@ -1,0 +1,230 @@
+"""Virtual-federation equivalence batteries.
+
+Two acceptance guarantees of the population layer:
+
+* **Full participation is the identity** — a virtual federation whose
+  cohort covers the whole registered population must reproduce every
+  golden trajectory at rtol 1e-8 on both gradient backends (same
+  worker order, same derived sampler streams, zero rebinds);
+* **Sampled cohorts survive crashes** — a cohort-sampled run that
+  crashes mid-training and resumes from its last durable checkpoint
+  reproduces the uninterrupted run bit for bit, carry store included.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AsyncFedAvg, AsyncHierAdMo, FedADC, FedNAG
+from repro.checkpoint import CheckpointManager
+from repro.core import HierAdMo
+from repro.data import (
+    make_synthetic_mnist,
+    partition_xclass,
+    train_test_split,
+)
+from repro.data.shards import ListShards, PrototypeShards
+from repro.faults import FaultPlan, InjectedCrash
+from repro.nn.models import make_logistic_regression
+from repro.population import ClientRegistry, PopulationBinder
+from tests.integration.test_golden_trajectories import (
+    ALGORITHMS,
+    EVAL_EVERY,
+    TOTAL_ITERATIONS,
+    _load_goldens,
+)
+
+pytestmark = pytest.mark.population
+
+
+def build_virtual_golden_algorithm(name: str, backend: str = "auto"):
+    """The goldens' federation rebuilt through the population layer.
+
+    Same corpus, partitions, model and seeds as the classic
+    ``build_federation`` in the golden battery — but the four workers
+    are registered clients of a full-participation virtual federation.
+    """
+    corpus = make_synthetic_mnist(600, rng=11).flattened()
+    train, test = train_test_split(corpus, 0.25, rng=12)
+    parts = partition_xclass(train, 4, 3, rng=3)
+    model = make_logistic_regression(train.num_features, 10, rng=4)
+    shards = ListShards(parts)
+    registry = ClientRegistry.from_shards(shards, 2)
+    binder = PopulationBinder(registry, shards, cohort_per_edge=2, seed=5)
+    federation = binder.build_federation(
+        model, test, batch_size=16, backend=backend
+    )
+    cls, kwargs = ALGORITHMS[name]
+    algorithm = cls(federation, **kwargs)
+    algorithm.attach_population(binder)
+    return algorithm
+
+
+@pytest.mark.parametrize("backend", ["batched", "loop"])
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_full_participation_matches_goldens(name, backend):
+    """Cohort == population reproduces all goldens at rtol 1e-8."""
+    golden = _load_goldens()[name]
+    algorithm = build_virtual_golden_algorithm(name, backend)
+    assert algorithm.population.sampler.full_participation
+    history = algorithm.run(TOTAL_ITERATIONS, eval_every=EVAL_EVERY)
+
+    assert list(history.iterations) == golden["iterations"]
+    assert math.isnan(history.train_loss[0])
+    for series in ("test_accuracy", "test_loss"):
+        assert np.allclose(
+            getattr(history, series), golden[series], rtol=1e-8, atol=1e-10
+        ), f"virtual {name}.{series} drifted from the golden"
+    assert np.allclose(
+        history.train_loss[1:],
+        golden["train_loss"][1:],
+        rtol=1e-8,
+        atol=1e-10,
+    ), f"virtual {name}.train_loss drifted from the golden"
+    fresh_trace = [
+        [trace[edge] for edge in sorted(trace)]
+        for trace in history.gamma_trace
+    ]
+    assert len(fresh_trace) == len(golden["gamma_trace"])
+    for fresh_round, golden_round in zip(
+        fresh_trace, golden["gamma_trace"]
+    ):
+        assert np.allclose(
+            fresh_round, golden_round, rtol=1e-8, atol=1e-10
+        ), f"virtual {name} gamma trace drifted from the golden"
+
+
+def test_full_participation_never_rebinds():
+    """At full participation the slot pool is static: no carry records,
+    no sampler churn — the virtual layer costs nothing per round."""
+    algorithm = build_virtual_golden_algorithm("FedAvg")
+    binder = algorithm.population
+    algorithm.run(TOTAL_ITERATIONS, eval_every=EVAL_EVERY)
+    assert binder.carry == {}
+    np.testing.assert_array_equal(binder.slot_client, np.arange(4))
+
+
+# ----------------------------------------------------------------------
+# Sampled-cohort crash/resume
+# ----------------------------------------------------------------------
+SAMPLED_CASES = {
+    "HierAdMo": (HierAdMo, {"eta": 0.05, "tau": 3, "pi": 2}),
+    "FedNAG": (FedNAG, {"eta": 0.05, "tau": 6, "gamma": 0.5}),
+    "FedADC": (FedADC, {"eta": 0.05, "tau": 6, "beta": 0.5}),
+}
+
+ASYNC_SAMPLED_CASES = {
+    "AsyncHierAdMo": (AsyncHierAdMo, {"eta": 0.05, "tau": 3, "pi": 2}),
+    "AsyncFedAvg": (AsyncFedAvg, {"eta": 0.05, "tau": 6}),
+}
+
+
+def make_sampled_algorithm(cls, kwargs):
+    """Fresh 64-client federation, cohort 3 per edge (rebinds happen)."""
+    shards = PrototypeShards(
+        64, num_features=24, num_classes=6, samples_per_client=20, seed=9
+    )
+    registry = ClientRegistry.from_shards(shards, 2)
+    binder = PopulationBinder(registry, shards, cohort_per_edge=3, seed=9)
+    model = make_logistic_regression(24, 6, rng=4)
+    binder.build_federation(model, shards.test_set(80), batch_size=8)
+    algorithm = cls(binder.fed, **kwargs)
+    algorithm.attach_population(binder)
+    return algorithm
+
+
+def assert_histories_match(golden, resumed):
+    assert list(resumed.iterations) == list(golden.iterations)
+    for series in ("test_accuracy", "test_loss"):
+        assert np.allclose(
+            getattr(resumed, series),
+            getattr(golden, series),
+            rtol=1e-8,
+            atol=1e-10,
+        ), f"{series} drifted after resume"
+    assert np.allclose(
+        resumed.train_loss[1:],
+        golden.train_loss[1:],
+        rtol=1e-8,
+        atol=1e-10,
+    )
+    assert resumed.gamma_trace == golden.gamma_trace
+
+
+@pytest.mark.checkpoint
+@pytest.mark.parametrize("name", sorted(SAMPLED_CASES))
+def test_sampled_cohort_crash_resume_is_bit_exact(name, tmp_path):
+    cls, kwargs = SAMPLED_CASES[name]
+    golden = make_sampled_algorithm(cls, kwargs).run(24, eval_every=6)
+
+    crashing = make_sampled_algorithm(cls, kwargs)
+    crashing.attach_faults(
+        replace(FaultPlan(), crash_iterations=(17,))
+    )
+    manager = CheckpointManager(tmp_path, every=5)
+    with pytest.raises(InjectedCrash):
+        crashing.run(24, eval_every=6, checkpoints=manager)
+
+    restored = manager.load_latest()
+    assert restored is not None
+    resumed = make_sampled_algorithm(cls, kwargs)
+    history = resumed.run(24, eval_every=6, resume_from=restored)
+    assert_histories_match(golden, history)
+
+
+@pytest.mark.checkpoint
+@pytest.mark.parametrize("name", sorted(SAMPLED_CASES))
+def test_sampled_resume_restores_binder_state(name, tmp_path):
+    """Uninterrupted and crash-resumed runs end with identical slot
+    pools and carry stores, not just identical histories."""
+    cls, kwargs = SAMPLED_CASES[name]
+    golden_algorithm = make_sampled_algorithm(cls, kwargs)
+    golden_algorithm.run(24, eval_every=6)
+
+    crashing = make_sampled_algorithm(cls, kwargs)
+    crashing.attach_faults(
+        replace(FaultPlan(), crash_iterations=(17,))
+    )
+    manager = CheckpointManager(tmp_path, every=5)
+    with pytest.raises(InjectedCrash):
+        crashing.run(24, eval_every=6, checkpoints=manager)
+    resumed = make_sampled_algorithm(cls, kwargs)
+    resumed.run(24, eval_every=6, resume_from=manager.load_latest())
+
+    golden_binder = golden_algorithm.population
+    resumed_binder = resumed.population
+    np.testing.assert_array_equal(
+        resumed_binder.slot_client, golden_binder.slot_client
+    )
+    assert sorted(resumed_binder.carry) == sorted(golden_binder.carry)
+    for client_id, record in golden_binder.carry.items():
+        resumed_record = resumed_binder.carry[client_id]
+        for row, resumed_row in zip(
+            record["rows"], resumed_record["rows"]
+        ):
+            np.testing.assert_array_equal(row, resumed_row)
+        assert (
+            record["sampler"]["rng"] == resumed_record["sampler"]["rng"]
+        )
+
+
+@pytest.mark.eventsim
+@pytest.mark.parametrize("name", sorted(ASYNC_SAMPLED_CASES))
+def test_async_sampled_cohort_runs_and_is_deterministic(name):
+    """The async engine resamples at its round barrier: two identical
+    runs agree bit for bit and materialize beyond the initial cohort."""
+    cls, kwargs = ASYNC_SAMPLED_CASES[name]
+    first = make_sampled_algorithm(cls, kwargs)
+    first_history = first.run(24, eval_every=6)
+    second = make_sampled_algorithm(cls, kwargs)
+    second_history = second.run(24, eval_every=6)
+    assert first_history.test_loss == second_history.test_loss
+    assert first_history.test_accuracy == second_history.test_accuracy
+    np.testing.assert_array_equal(
+        first.population.slot_client, second.population.slot_client
+    )
+    assert len(first.population._seen) > first.population.sampler.cohort_size

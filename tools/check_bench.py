@@ -54,6 +54,9 @@ GATES = {
         "null_monitor_overhead": [("disabled_overhead", "within_threshold")],
         "jsonl_sink_throughput": [("events_per_sec", "higher_better")],
     },
+    "population": {
+        "bounded_memory": [("rss_ratio_1m_over_10k", "within_threshold")],
+    },
     "substrate": {
         "hieradmo_iteration": [("speedup", "higher_better")],
         "plumbing_round": [("speedup", "higher_better")],
